@@ -1,0 +1,74 @@
+// Command rtgen generates resource-time tradeoff instances as JSON.
+//
+//	rtgen -kind step -layers 3 -width 3 -seed 7 > instance.json
+//	rtgen -kind gadget-1in3 > gadget.json
+//
+// Kinds: step, kway, binary, sp, forkjoin, gadget-1in3, gadget-partition.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/reduction"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtgen: ")
+	kind := flag.String("kind", "step", "step | kway | binary | sp | forkjoin | gadget-1in3 | gadget-partition")
+	seed := flag.Int64("seed", 1, "generator seed")
+	layers := flag.Int("layers", 3, "layers (layered kinds)")
+	width := flag.Int("width", 3, "width per layer")
+	extra := flag.Int("extra", 2, "extra cross arcs per layer")
+	maxT0 := flag.Int64("maxt0", 30, "max zero-resource duration")
+	leaves := flag.Int("leaves", 8, "leaves (sp kind)")
+	flag.Parse()
+
+	g := gen.New(*seed)
+	var inst *core.Instance
+	switch *kind {
+	case "step":
+		inst = g.StepInstance(*layers, *width, *extra, 4, *maxT0, 4)
+	case "kway":
+		inst = g.KWayInstance(*layers, *width, *extra, *maxT0)
+	case "binary":
+		inst = g.BinaryInstance(*layers, *width, *extra, *maxT0)
+	case "sp":
+		tree := g.SPTree(*leaves, 4, *maxT0, 4)
+		var err error
+		inst, _, err = tree.ToInstance()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "forkjoin":
+		inst = g.ForkJoin(*layers, *width, "kway", *maxT0)
+	case "gadget-1in3":
+		r, err := reduction.BuildThm41(reduction.Figure9Formula())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "budget %d reaches makespan %d iff 1-in-3 satisfiable\n", r.Budget, r.Target)
+		inst = r.Inst
+	case "gadget-partition":
+		p, err := reduction.BuildPartition([]int64{3, 1, 4, 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "budget %d, perfect partition iff makespan %d\n", p.Budget, p.Target)
+		inst = p.Inst
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	out, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}

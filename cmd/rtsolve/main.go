@@ -1,0 +1,130 @@
+// Command rtsolve solves a resource-time tradeoff instance from JSON.
+//
+//	rtsolve -in instance.json -budget 8 -algo bicriteria [-alpha 0.5]
+//	rtsolve -in instance.json -target 20 -algo exact
+//
+// Algorithms: exact, bicriteria, kway5, binary4, binarybi, spdp.
+// With -budget the makespan is minimized; with -target the resource usage
+// is minimized (exact, bicriteria and spdp only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/sp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtsolve: ")
+	in := flag.String("in", "", "instance JSON file (required)")
+	budget := flag.Int64("budget", -1, "resource budget (minimize makespan)")
+	target := flag.Int64("target", -1, "makespan target (minimize resources)")
+	algo := flag.String("algo", "exact", "exact | bicriteria | kway5 | binary4 | binarybi | spdp")
+	alpha := flag.Float64("alpha", 0.5, "alpha for bicriteria")
+	maxNodes := flag.Int("maxnodes", 1<<20, "search-node budget for exact")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*budget < 0) == (*target < 0) {
+		log.Fatal("exactly one of -budget or -target is required")
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var inst core.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d nodes, %d arcs, zero-flow makespan %d\n",
+		inst.G.NumNodes(), inst.G.NumEdges(), inst.ZeroFlowMakespan())
+
+	report := func(sol core.Solution, extra string) {
+		fmt.Printf("solution: makespan %d, resources %d%s\n", sol.Makespan, sol.Value, extra)
+	}
+
+	switch *algo {
+	case "exact":
+		opts := &exact.Options{MaxNodes: *maxNodes}
+		if *budget >= 0 {
+			sol, stats, err := exact.MinMakespan(&inst, *budget, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(sol, fmt.Sprintf(" (nodes %d, complete %v)", stats.Nodes, stats.Complete))
+		} else {
+			sol, stats, err := exact.MinResource(&inst, *target, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(sol, fmt.Sprintf(" (nodes %d, complete %v)", stats.Nodes, stats.Complete))
+		}
+	case "bicriteria":
+		var res *approx.Result
+		if *budget >= 0 {
+			res, err = approx.BiCriteria(&inst, *budget, *alpha)
+		} else {
+			res, err = approx.BiCriteriaResource(&inst, *target, *alpha)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res.Sol, fmt.Sprintf(" (LP bound %.2f)", res.LPObjective))
+	case "kway5", "binary4", "binarybi":
+		if *budget < 0 {
+			log.Fatalf("%s minimizes makespan; use -budget", *algo)
+		}
+		var res *approx.Result
+		switch *algo {
+		case "kway5":
+			res, err = approx.KWay5(&inst, *budget)
+		case "binary4":
+			res, err = approx.Binary4(&inst, *budget)
+		default:
+			res, err = approx.BinaryBiCriteria(&inst, *budget)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res.Sol, fmt.Sprintf(" (LP bound %.2f)", res.LPObjective))
+	case "spdp":
+		tree, ok := sp.Recognize(&inst)
+		if !ok {
+			log.Fatal("instance is not two-terminal series-parallel")
+		}
+		b := *budget
+		if b < 0 {
+			b = inst.MaxUsefulBudget()
+		}
+		tables, err := sp.Solve(tree, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *budget >= 0 {
+			m, err := tables.Makespan(*budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("solution: makespan %d with budget %d (exact, series-parallel DP)\n", m, *budget)
+		} else {
+			r, ok := tables.MinResource(*target)
+			if !ok {
+				log.Fatalf("makespan %d unreachable", *target)
+			}
+			fmt.Printf("solution: resources %d reach makespan <= %d (exact, series-parallel DP)\n", r, *target)
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+}

@@ -1,0 +1,65 @@
+// Matmul reproduces the Figure 3 discussion: Parallel-MM on n x n
+// matrices serializes n updates per output cell; attaching binary
+// reducers of height h to every Z cell trades n^2 * 2^h extra space for a
+// ceil(n/2^h) + h + 1 running time.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rtt "repro"
+)
+
+func main() {
+	const n = 64
+	mm := rtt.ParallelMM(n)
+	base, err := rtt.Simulate(mm.Trace, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Parallel-MM, n = %d (%d updates)\n", n, len(mm.Updates))
+	fmt.Printf("%-8s %-12s %-10s %-10s\n", "height", "extra space", "time", "speedup")
+	fmt.Printf("%-8d %-12d %-10d %-10.2f\n", 0, 0, base.FinishTime, 1.0)
+	for h := 1; h <= 6; h++ {
+		tr, extra, err := mm.WithReducersOnZ(h, rtt.SelfParent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rtt.Simulate(tr, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-12d %-10d %-10.2f\n",
+			h, extra, res.FinishTime, float64(base.FinishTime)/float64(res.FinishTime))
+	}
+
+	// The same tradeoff through the optimization lens: the race DAG of a
+	// single output cell's dot product (one Z[i][j] of the n = 64
+	// multiply) with a recursive binary duration function, solved by the
+	// improved bi-criteria algorithm at a few budgets.
+	dot := &rtt.Trace{NumCells: 2*n + 1}
+	z := 2 * n
+	for k := 0; k < n; k++ {
+		dot.Updates = append(dot.Updates, rtt.Update{Dst: z, Srcs: []int{k, n + k}})
+	}
+	vi, err := dot.RaceInstance(rtt.BinaryReducer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	af, err := vi.ToArcForm()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimization view (one dot-product cell, binary reducer durations):\n")
+	fmt.Printf("%-8s %-10s %-12s\n", "budget", "makespan", "LP bound")
+	for _, budget := range []int64{0, 2, 8, 32} {
+		res, err := rtt.BinaryBiCriteria(af.Inst, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-10d %-12.1f\n", budget, res.Sol.Makespan, res.LPObjective)
+	}
+}

@@ -1,0 +1,18 @@
+package rtt
+
+import (
+	"repro/internal/dag"
+	"repro/internal/gen"
+)
+
+// Graph re-exports the DAG builder so callers can construct instances.
+type Graph = dag.Graph
+
+// NewGraph returns an empty directed multigraph.
+func NewGraph() *Graph { return dag.New() }
+
+// Generator re-exports the seeded workload generator.
+type Generator = gen.Gen
+
+// NewGenerator returns a deterministic workload generator.
+func NewGenerator(seed int64) *Generator { return gen.New(seed) }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/duration"
+	"repro/internal/flow"
+)
+
+// TestBinaryChainExpansion checks the Figure 7 expansion: a recursive
+// binary splitting job with tuples {<0,x>, <2,t1>, ..., <2^k,tk>} becomes
+// parallel chains whose deltas are the successive power-of-two gaps and
+// whose times are the Equation 3 values.
+func TestBinaryChainExpansion(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s")
+	tt := g.AddNode("t")
+	g.AddEdge(s, tt)
+	fn := duration.NewRecursiveBinary(64)
+	inst := MustInstance(g, []duration.Func{fn})
+
+	ex, err := Expand(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := fn.Tuples()
+	links := ex.Chains[0]
+	if len(links) != len(tuples) {
+		t.Fatalf("chains = %d; want %d", len(links), len(tuples))
+	}
+	for i, link := range links {
+		if link.Time != tuples[i].T {
+			t.Fatalf("chain %d time = %d; want %d", i, link.Time, tuples[i].T)
+		}
+		if i+1 < len(tuples) {
+			if want := tuples[i+1].R - tuples[i].R; link.Delta != want {
+				t.Fatalf("chain %d delta = %d; want %d", i, link.Delta, want)
+			}
+		} else if link.Delta != 0 {
+			t.Fatalf("last chain delta = %d; want 0", link.Delta)
+		}
+	}
+	// Figure 7's first two chains for t0 = 64: delta 2 at time 64, then
+	// the power-of-two gaps 2, 4, 8, ...
+	if links[0].Time != 64 || links[0].Delta != 2 {
+		t.Fatalf("chain 0 = %+v", links[0])
+	}
+	// The expanded instance achieves exactly the Equation 3 values under
+	// canonical prefix flows.
+	for i, tp := range tuples {
+		lower := make([]int64, ex.G.NumEdges())
+		for j := 0; j < i; j++ {
+			lower[links[j].JobArc] = links[j].Delta
+		}
+		flow := lowerClosureFlow(t, ex, lower)
+		if got := ex.RealizedDuration(inst, 0, flow); got != tp.T {
+			t.Fatalf("prefix %d: realized %d; want %d", i, got, tp.T)
+		}
+	}
+}
+
+// lowerClosureFlow routes a min-flow meeting the lower bounds.
+func lowerClosureFlow(t *testing.T, ex *Expanded, lower []int64) []int64 {
+	t.Helper()
+	res, err := minFlowHelper(ex, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func minFlowHelper(ex *Expanded, lower []int64) ([]int64, error) {
+	res, err := flow.MinFlow(ex.G, lower, ex.Source, ex.Sink)
+	if err != nil {
+		return nil, err
+	}
+	return res.EdgeFlow, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// edgeJSON is the wire form of one arc.
+type edgeJSON struct {
+	From int           `json:"from"`
+	To   int           `json:"to"`
+	Fn   duration.Spec `json:"fn"`
+}
+
+// instanceJSON is the wire form of an Instance.
+type instanceJSON struct {
+	Nodes []string   `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+// MarshalJSON encodes the instance as {nodes, edges} with per-edge duration
+// specs.
+func (inst *Instance) MarshalJSON() ([]byte, error) {
+	ij := instanceJSON{Nodes: make([]string, inst.G.NumNodes())}
+	for v := range ij.Nodes {
+		ij.Nodes[v] = inst.G.Name(v)
+	}
+	for e := 0; e < inst.G.NumEdges(); e++ {
+		ed := inst.G.Edge(e)
+		ij.Edges = append(ij.Edges, edgeJSON{
+			From: ed.From,
+			To:   ed.To,
+			Fn:   duration.ToSpec(inst.Fns[e]),
+		})
+	}
+	return json.Marshal(ij)
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (inst *Instance) UnmarshalJSON(data []byte) error {
+	var ij instanceJSON
+	if err := json.Unmarshal(data, &ij); err != nil {
+		return err
+	}
+	g := dag.New()
+	for _, name := range ij.Nodes {
+		g.AddNode(name)
+	}
+	fns := make([]duration.Func, 0, len(ij.Edges))
+	for i, e := range ij.Edges {
+		if e.From < 0 || e.From >= len(ij.Nodes) || e.To < 0 || e.To >= len(ij.Nodes) {
+			return fmt.Errorf("core: edge %d references missing node", i)
+		}
+		g.AddEdge(e.From, e.To)
+		fn, err := duration.FromSpec(e.Fn)
+		if err != nil {
+			return fmt.Errorf("core: edge %d: %w", i, err)
+		}
+		fns = append(fns, fn)
+	}
+	built, err := NewInstance(g, fns)
+	if err != nil {
+		return err
+	}
+	*inst = *built
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// VertexInstance is a problem instance with jobs on vertices: the race DAG
+// D(P) of Section 1, where each vertex is a memory cell, each arc is one
+// update of its head using the value at its tail, and the work of a cell is
+// the number of updates it receives (its in-degree).
+type VertexInstance struct {
+	G *dag.Graph
+	// Fns[v] is the duration function of vertex v.  Its zero-resource
+	// value Fns[v].Eval(0) is the vertex's work.
+	Fns    []duration.Func
+	Source int
+	Sink   int
+}
+
+// NewVertexInstance validates and builds a vertex-job instance.
+func NewVertexInstance(g *dag.Graph, fns []duration.Func) (*VertexInstance, error) {
+	if len(fns) != g.NumNodes() {
+		return nil, fmt.Errorf("core: %d duration functions for %d vertices", len(fns), g.NumNodes())
+	}
+	for v, fn := range fns {
+		if fn == nil {
+			return nil, fmt.Errorf("core: nil duration function on vertex %d", v)
+		}
+	}
+	s, t, err := g.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &VertexInstance{G: g, Fns: fns, Source: s, Sink: t}, nil
+}
+
+// ReducerKind selects which reducer construction (and hence duration
+// function class) mitigates the races at a vertex.
+type ReducerKind int
+
+// Reducer kinds for NewRaceInstance.
+const (
+	// NoReducer serializes all updates: duration is constant in-degree.
+	NoReducer ReducerKind = iota
+	// BinaryReducer uses recursive binary splitting (Equation 3).
+	BinaryReducer
+	// KWayReducer uses k-way splitting (Equation 2).
+	KWayReducer
+)
+
+// NewRaceInstance builds the space-time tradeoff instance of Question 1.3
+// from a race DAG: every vertex's work is its in-degree and its duration
+// function is the chosen reducer class applied to that work.
+func NewRaceInstance(g *dag.Graph, kind ReducerKind) (*VertexInstance, error) {
+	fns := make([]duration.Func, g.NumNodes())
+	for v := range fns {
+		w := int64(g.InDegree(v))
+		switch kind {
+		case NoReducer:
+			fns[v] = duration.Constant(w)
+		case BinaryReducer:
+			fns[v] = duration.NewRecursiveBinary(w)
+		case KWayReducer:
+			fns[v] = duration.NewKWay(w)
+		default:
+			return nil, fmt.Errorf("core: unknown reducer kind %d", kind)
+		}
+	}
+	return NewVertexInstance(g, fns)
+}
+
+// Work returns the zero-resource duration of vertex v.
+func (vi *VertexInstance) Work(v int) int64 { return vi.Fns[v].Eval(0) }
+
+// Makespan is the longest path summing vertex works: the formal makespan of
+// D(P) used throughout the paper (e.g. Figure 4's makespan of 11).
+// alloc[v] is the resource allocated to vertex v's reducer; pass nil for no
+// resources.
+func (vi *VertexInstance) Makespan(alloc []int64) (int64, error) {
+	n := vi.G.NumNodes()
+	if alloc == nil {
+		alloc = make([]int64, n)
+	}
+	if len(alloc) != n {
+		return 0, fmt.Errorf("core: %d allocations for %d vertices", len(alloc), n)
+	}
+	order, err := vi.G.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	comp := make([]int64, n)
+	var best int64
+	for _, v := range order {
+		var in int64
+		for _, e := range vi.G.In(v) {
+			u := vi.G.Edge(e).From
+			if comp[u] > in {
+				in = comp[u]
+			}
+		}
+		comp[v] = in + vi.Fns[v].Eval(alloc[v])
+		if comp[v] > best {
+			best = comp[v]
+		}
+	}
+	return best, nil
+}
+
+// EarliestFinishTimes computes, for every vertex, the time all its updates
+// complete under the fine-grained semantics of Sections 1 and 4.2: an
+// update along arc (u, v) triggers the moment u is fully updated, v's lock
+// serializes updates in arrival order (one time unit each), and v is done
+// after its last update.  Source-like vertices with no updates finish at
+// their work value (zero for true sources).
+//
+// This is exactly what an unbounded-processor discrete-event simulation
+// produces (the racesim package cross-checks that), and it is the
+// "earliest finish time" used by Table 3.  It is bounded above by Makespan
+// (Observation 1.1).
+func (vi *VertexInstance) EarliestFinishTimes() ([]int64, error) {
+	order, err := vi.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := vi.G.NumNodes()
+	fin := make([]int64, n)
+	for _, v := range order {
+		in := vi.G.In(v)
+		if len(in) == 0 {
+			fin[v] = vi.Work(v) // normally 0 for a source
+			continue
+		}
+		arrivals := make([]int64, len(in))
+		for i, e := range in {
+			arrivals[i] = fin[vi.G.Edge(e).From]
+		}
+		if vi.Work(v) == 0 {
+			// Zero-work vertices (virtual sources/sinks) synchronize
+			// without applying updates.
+			var worst int64
+			for _, r := range arrivals {
+				if r > worst {
+					worst = r
+				}
+			}
+			fin[v] = worst
+			continue
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+		var clock int64
+		for _, r := range arrivals {
+			if r > clock {
+				clock = r
+			}
+			clock++
+		}
+		fin[v] = clock
+	}
+	return fin, nil
+}
+
+// EarliestFinish returns the maximum earliest finish time over all
+// vertices: the exact unbounded-processor execution time of the program.
+func (vi *VertexInstance) EarliestFinish() (int64, error) {
+	fin, err := vi.EarliestFinishTimes()
+	if err != nil {
+		return 0, err
+	}
+	var best int64
+	for _, f := range fin {
+		if f > best {
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// ArcForm is the result of transforming a vertex-job instance into the
+// activity-on-arc form of Section 2.
+type ArcForm struct {
+	Inst *Instance
+	// JobArc[v] is the arc of Inst carrying vertex v's job.
+	JobArc []int
+	// EntryNode[v] / ExitNode[v] are the endpoints a_v, b_v of that arc.
+	EntryNode, ExitNode []int
+}
+
+// ToArcForm applies the Section 2 transformation: vertex v becomes arc
+// (a_v, b_v) carrying v's duration function, and each original arc (u, v)
+// becomes a dummy arc (b_u, a_v) with constant zero duration.
+func (vi *VertexInstance) ToArcForm() (*ArcForm, error) {
+	g := dag.New()
+	n := vi.G.NumNodes()
+	af := &ArcForm{
+		JobArc:    make([]int, n),
+		EntryNode: make([]int, n),
+		ExitNode:  make([]int, n),
+	}
+	var fns []duration.Func
+	for v := 0; v < n; v++ {
+		af.EntryNode[v] = g.AddNode("a:" + vi.G.Name(v))
+		af.ExitNode[v] = g.AddNode("b:" + vi.G.Name(v))
+	}
+	for v := 0; v < n; v++ {
+		af.JobArc[v] = g.AddEdge(af.EntryNode[v], af.ExitNode[v])
+		fns = append(fns, vi.Fns[v])
+	}
+	for e := 0; e < vi.G.NumEdges(); e++ {
+		ed := vi.G.Edge(e)
+		g.AddEdge(af.ExitNode[ed.From], af.EntryNode[ed.To])
+		fns = append(fns, duration.Constant(0))
+	}
+	inst, err := NewInstance(g, fns)
+	if err != nil {
+		return nil, err
+	}
+	af.Inst = inst
+	return af, nil
+}
+
+// AllocFromFlow converts an arc-form flow back into a per-vertex resource
+// allocation (the flow through each vertex's job arc).
+func (af *ArcForm) AllocFromFlow(f []int64) []int64 {
+	alloc := make([]int64, len(af.JobArc))
+	for v, e := range af.JobArc {
+		alloc[v] = f[e]
+	}
+	return alloc
+}

@@ -1,0 +1,366 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// line builds s -> v1 -> ... -> v(n-1) and returns the graph.
+func line(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("v")
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// diamond builds the 4-node diamond s -> {a, b} -> t.
+func diamond() *Graph {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	t := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(a, t)
+	g.AddEdge(s, b)
+	g.AddEdge(b, t)
+	return g
+}
+
+func TestAddNodeEdgeBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("node IDs = %d, %d; want 0, 1", a, b)
+	}
+	e := g.AddEdge(a, b)
+	if e != 0 {
+		t.Fatalf("edge ID = %d; want 0", e)
+	}
+	if got := g.Edge(e); got.From != a || got.To != b {
+		t.Fatalf("Edge(%d) = %+v", e, got)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("NumNodes=%d NumEdges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(b) != 1 || g.InDegree(a) != 0 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+	if g.Name(a) != "a" {
+		t.Fatalf("Name = %q", g.Name(a))
+	}
+	g.SetName(a, "s")
+	if g.Name(a) != "s" {
+		t.Fatalf("SetName did not take: %q", g.Name(a))
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range endpoint")
+		}
+	}()
+	New().AddEdge(0, 1)
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		if pos[ed.From] >= pos[ed.To] {
+			t.Fatalf("edge %d violates topological order", e)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.TopoOrder(); err != ErrCyclic {
+		t.Fatalf("err = %v; want ErrCyclic", err)
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	s, snk, err := diamond().Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 || snk != 3 {
+		t.Fatalf("source=%d sink=%d; want 0, 3", s, snk)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, _, err := New().Validate(); err == nil {
+			t.Fatal("want error for empty graph")
+		}
+	})
+	t.Run("two sources", func(t *testing.T) {
+		g := New()
+		a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+		g.AddEdge(a, c)
+		g.AddEdge(b, c)
+		if _, _, err := g.Validate(); err == nil {
+			t.Fatal("want error for two sources")
+		}
+	})
+	t.Run("two sinks", func(t *testing.T) {
+		g := New()
+		a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+		g.AddEdge(a, b)
+		g.AddEdge(a, c)
+		if _, _, err := g.Validate(); err == nil {
+			t.Fatal("want error for two sinks")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		g := line(3)
+		g.AddEdge(1, 1)
+		if _, _, err := g.Validate(); err == nil {
+			t.Fatal("want error for self loop")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		g := line(4)
+		g.AddEdge(2, 1)
+		if _, _, err := g.Validate(); err == nil {
+			t.Fatal("want error for cycle")
+		}
+	})
+}
+
+func TestEventTimesLine(t *testing.T) {
+	g := line(5)
+	times, err := g.EventTimes([]int64{3, 1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 4, 8, 9}
+	for v := range want {
+		if times[v] != want[v] {
+			t.Fatalf("T[%d] = %d; want %d", v, times[v], want[v])
+		}
+	}
+}
+
+func TestEventTimesDiamondTakesMax(t *testing.T) {
+	g := diamond()
+	// Path via a costs 2+5=7, via b costs 3+1=4.
+	ms, err := g.Makespan([]int64{2, 5, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 7 {
+		t.Fatalf("makespan = %d; want 7", ms)
+	}
+}
+
+func TestEventTimesWrongLength(t *testing.T) {
+	if _, err := diamond().EventTimes([]int64{1}); err == nil {
+		t.Fatal("want error for wrong duration length")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := diamond()
+	dur := []int64{2, 5, 3, 1}
+	path, length, err := g.CriticalPath(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 7 {
+		t.Fatalf("length = %d; want 7", length)
+	}
+	var sum int64
+	for _, e := range path {
+		sum += dur[e]
+	}
+	if sum != length {
+		t.Fatalf("path durations sum to %d; want %d", sum, length)
+	}
+	// Path must be contiguous from source to sink.
+	if g.Edge(path[0]).From != 0 || g.Edge(path[len(path)-1]).To != 3 {
+		t.Fatal("critical path does not span source to sink")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if g.Edge(path[i]).To != g.Edge(path[i+1]).From {
+			t.Fatal("critical path not contiguous")
+		}
+	}
+}
+
+func TestPathsDiamond(t *testing.T) {
+	g := diamond()
+	paths, exhaustive := g.Paths(0, 3, 0)
+	if !exhaustive || len(paths) != 2 {
+		t.Fatalf("paths = %v exhaustive = %v; want 2 paths", paths, exhaustive)
+	}
+	if n := g.CountPaths(0, 3, 1<<40); n != 2 {
+		t.Fatalf("CountPaths = %d; want 2", n)
+	}
+}
+
+func TestPathsLimit(t *testing.T) {
+	g := diamond()
+	paths, exhaustive := g.Paths(0, 3, 1)
+	if exhaustive || len(paths) != 1 {
+		t.Fatalf("limit=1: got %d paths exhaustive=%v", len(paths), exhaustive)
+	}
+}
+
+func TestCountPathsSaturates(t *testing.T) {
+	// A chain of k diamonds has 2^k paths; check saturation at the cap.
+	g := New()
+	prev := g.AddNode("s")
+	for i := 0; i < 50; i++ {
+		a := g.AddNode("a")
+		b := g.AddNode("b")
+		next := g.AddNode("j")
+		g.AddEdge(prev, a)
+		g.AddEdge(prev, b)
+		g.AddEdge(a, next)
+		g.AddEdge(b, next)
+		prev = next
+	}
+	if n := g.CountPaths(0, prev, 1000); n != 1000 {
+		t.Fatalf("CountPaths = %d; want saturation at 1000", n)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := diamond()
+	from := g.ReachableFrom(1) // node a reaches a and t
+	want := []bool{false, true, false, true}
+	for v := range want {
+		if from[v] != want[v] {
+			t.Fatalf("ReachableFrom(a)[%d] = %v", v, from[v])
+		}
+	}
+	to := g.CoReachable(1) // a is reachable from s and a
+	want = []bool{true, true, false, false}
+	for v := range want {
+		if to[v] != want[v] {
+			t.Fatalf("CoReachable(a)[%d] = %v", v, to[v])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.AddNode("extra")
+	c.AddEdge(3, 4)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatal("Clone is not independent of the original")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := diamond()
+	var b strings.Builder
+	if err := g.DOT(&b, "d", func(e int) string {
+		if e == 0 {
+			return "x"
+		}
+		return ""
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "n0 -> n1", `label="x"`, "n2 -> n3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRandomLayeredTopoAndTimes cross-checks EventTimes against a slow
+// recursive longest-path computation on random layered DAGs.
+func TestRandomLayeredTopoAndTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g, dur := randomLayered(rng)
+		got, err := g.Makespan(dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := slowMakespan(g, dur)
+		if got != want {
+			t.Fatalf("trial %d: Makespan = %d; slow = %d", trial, got, want)
+		}
+	}
+}
+
+func randomLayered(rng *rand.Rand) (*Graph, []int64) {
+	g := New()
+	s := g.AddNode("s")
+	prev := []int{s}
+	for l := 0; l < 3; l++ {
+		width := 1 + rng.Intn(3)
+		var layer []int
+		for i := 0; i < width; i++ {
+			v := g.AddNode("v")
+			layer = append(layer, v)
+			g.AddEdge(prev[rng.Intn(len(prev))], v)
+		}
+		// Extra random edges for density.
+		for i := 0; i < 2; i++ {
+			g.AddEdge(prev[rng.Intn(len(prev))], layer[rng.Intn(len(layer))])
+		}
+		prev = layer
+	}
+	t := g.AddNode("t")
+	for _, v := range prev {
+		g.AddEdge(v, t)
+	}
+	dur := make([]int64, g.NumEdges())
+	for e := range dur {
+		dur[e] = int64(rng.Intn(10))
+	}
+	return g, dur
+}
+
+func slowMakespan(g *Graph, dur []int64) int64 {
+	memo := make(map[int]int64)
+	var longest func(v int) int64
+	longest = func(v int) int64 {
+		if m, ok := memo[v]; ok {
+			return m
+		}
+		var best int64
+		for _, e := range g.In(v) {
+			if c := longest(g.Edge(e).From) + dur[e]; c > best {
+				best = c
+			}
+		}
+		memo[v] = best
+		return best
+	}
+	var best int64
+	for v := 0; v < g.NumNodes(); v++ {
+		if c := longest(v); c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,32 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT writes the graph in Graphviz DOT syntax.  edgeLabel may be nil; when
+// non-nil it supplies a label for each edge ID (empty string omits the
+// label).  The output is deterministic: nodes and edges appear in ID order.
+func (g *Graph) DOT(w io.Writer, title string, edgeLabel func(e int) string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", title)
+	for v, name := range g.names {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, name)
+	}
+	for e, ed := range g.edges {
+		label := ""
+		if edgeLabel != nil {
+			label = edgeLabel(e)
+		}
+		if label != "" {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", ed.From, ed.To, label)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ed.From, ed.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,142 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EventTimes computes, for every node v, the longest-path distance T[v] from
+// the graph's sources under the given per-edge durations:
+//
+//	T[v] = max over incoming edges (u,v) of T[u] + dur[e],   T[source] = 0.
+//
+// In the project-network reading (Section 2 of the paper) T[v] is the
+// earliest time event v can occur, and T[sink] is the makespan.
+func (g *Graph) EventTimes(dur []int64) ([]int64, error) {
+	if len(dur) != len(g.edges) {
+		return nil, fmt.Errorf("dag: EventTimes got %d durations for %d edges", len(dur), len(g.edges))
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	t := make([]int64, len(g.names))
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			if cand := t[v] + dur[e]; cand > t[w] {
+				t[w] = cand
+			}
+		}
+	}
+	return t, nil
+}
+
+// Makespan returns the longest-path length from sources to sinks under the
+// given per-edge durations.
+func (g *Graph) Makespan(dur []int64) (int64, error) {
+	t, err := g.EventTimes(dur)
+	if err != nil {
+		return 0, err
+	}
+	var m int64
+	for _, v := range t {
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// CriticalPath returns one longest path (as a sequence of edge IDs) under
+// the given durations, together with its length.
+func (g *Graph) CriticalPath(dur []int64) ([]int, int64, error) {
+	t, err := g.EventTimes(dur)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Find the node achieving the makespan.
+	end := 0
+	for v := range t {
+		if t[v] > t[end] {
+			end = v
+		}
+	}
+	// Walk backwards along tight edges.
+	var rev []int
+	v := end
+	for {
+		var pick = -1
+		for _, e := range g.in[v] {
+			u := g.edges[e].From
+			if t[u]+dur[e] == t[v] {
+				pick = e
+				break
+			}
+		}
+		if pick == -1 {
+			if t[v] != 0 {
+				return nil, 0, errors.New("dag: inconsistent event times")
+			}
+			break
+		}
+		rev = append(rev, pick)
+		v = g.edges[pick].From
+	}
+	path := make([]int, len(rev))
+	for i, e := range rev {
+		path[len(rev)-1-i] = e
+	}
+	return path, t[end], nil
+}
+
+// Paths enumerates source-to-sink paths between s and t as sequences of edge
+// IDs, visiting at most limit paths (limit <= 0 means no bound).  It reports
+// whether enumeration was exhaustive.
+func (g *Graph) Paths(s, t, limit int) (paths [][]int, exhaustive bool) {
+	exhaustive = true
+	var cur []int
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == t {
+			paths = append(paths, append([]int(nil), cur...))
+			return limit <= 0 || len(paths) < limit
+		}
+		for _, e := range g.out[v] {
+			cur = append(cur, e)
+			ok := rec(g.edges[e].To)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				exhaustive = false
+				return false
+			}
+		}
+		return true
+	}
+	rec(s)
+	return paths, exhaustive
+}
+
+// CountPaths returns the number of distinct s-to-t paths, saturating at the
+// given cap to avoid overflow on dense DAGs.
+func (g *Graph) CountPaths(s, t int, cap int64) int64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	cnt := make([]int64, len(g.names))
+	cnt[s] = 1
+	for _, v := range order {
+		if cnt[v] == 0 {
+			continue
+		}
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			cnt[w] += cnt[v]
+			if cnt[w] > cap {
+				cnt[w] = cap
+			}
+		}
+	}
+	return cnt[t]
+}

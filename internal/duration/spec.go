@@ -1,0 +1,57 @@
+package duration
+
+import (
+	"fmt"
+)
+
+// Spec is the JSON-serializable description of a duration function.  Kind
+// selects the class; T0 parameterizes "kway" and "binary"; Tuples
+// parameterizes "step"; Constant functions use Kind "const" with T0 as the
+// fixed duration.
+type Spec struct {
+	Kind   string  `json:"kind"`
+	T0     int64   `json:"t0,omitempty"`
+	Tuples []Tuple `json:"tuples,omitempty"`
+}
+
+// Kinds accepted by FromSpec.
+const (
+	KindConst  = "const"
+	KindStep   = "step"
+	KindKWay   = "kway"
+	KindBinary = "binary"
+)
+
+// FromSpec instantiates the duration function a Spec describes.
+func FromSpec(s Spec) (Func, error) {
+	switch s.Kind {
+	case KindConst:
+		if s.T0 < 0 {
+			return nil, fmt.Errorf("duration: const spec with negative T0 %d", s.T0)
+		}
+		return Constant(s.T0), nil
+	case KindStep:
+		return NewStep(s.Tuples)
+	case KindKWay:
+		return NewKWay(s.T0), nil
+	case KindBinary:
+		return NewRecursiveBinary(s.T0), nil
+	default:
+		return nil, fmt.Errorf("duration: unknown spec kind %q", s.Kind)
+	}
+}
+
+// ToSpec produces the Spec describing f.  Unknown implementations of Func
+// are serialized as explicit step functions, which preserves Eval exactly.
+func ToSpec(f Func) Spec {
+	switch v := f.(type) {
+	case Constant:
+		return Spec{Kind: KindConst, T0: int64(v)}
+	case *KWay:
+		return Spec{Kind: KindKWay, T0: v.T0()}
+	case *RecursiveBinary:
+		return Spec{Kind: KindBinary, T0: v.T0()}
+	default:
+		return Spec{Kind: KindStep, Tuples: append([]Tuple(nil), f.Tuples()...)}
+	}
+}

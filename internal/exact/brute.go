@@ -1,0 +1,67 @@
+package exact
+
+import (
+	"repro/internal/core"
+)
+
+// BruteForceMinMakespan minimizes the makespan over all integral flows of
+// value exactly budget by enumerating multisets of source-to-sink paths
+// (every integral flow decomposes into unit path flows, and makespan is
+// non-increasing in budget, so value-exactly-budget enumeration is
+// complete).  It reports ok=false when the instance has more than maxPaths
+// source-sink paths, in which case nothing is computed.
+//
+// This is the reference oracle used to validate the branch-and-bound
+// searcher on tiny instances; it is exponential and should never be called
+// on anything larger.
+func BruteForceMinMakespan(inst *core.Instance, budget int64, maxPaths int) (core.Solution, bool) {
+	paths, exhaustive := inst.G.Paths(inst.Source, inst.Sink, maxPaths+1)
+	if !exhaustive || len(paths) > maxPaths {
+		return core.Solution{}, false
+	}
+	f := make([]int64, inst.G.NumEdges())
+	best := core.Solution{Makespan: -1}
+	var rec func(k int64, from int)
+	rec = func(k int64, from int) {
+		if k == 0 {
+			m, err := inst.Makespan(f)
+			if err != nil {
+				panic(err)
+			}
+			if best.Makespan < 0 || m < best.Makespan {
+				best = core.Solution{
+					Flow:     append([]int64(nil), f...),
+					Value:    inst.FlowValue(f),
+					Makespan: m,
+				}
+			}
+			return
+		}
+		for i := from; i < len(paths); i++ {
+			for _, e := range paths[i] {
+				f[e]++
+			}
+			rec(k-1, i)
+			for _, e := range paths[i] {
+				f[e]--
+			}
+		}
+	}
+	rec(budget, 0)
+	return best, true
+}
+
+// BruteForceMinResource finds the smallest budget whose brute-force optimal
+// makespan meets the target, scanning budgets upward to maxBudget.
+func BruteForceMinResource(inst *core.Instance, target, maxBudget int64, maxPaths int) (core.Solution, bool) {
+	for b := int64(0); b <= maxBudget; b++ {
+		sol, ok := BruteForceMinMakespan(inst, b, maxPaths)
+		if !ok {
+			return core.Solution{}, false
+		}
+		if sol.Makespan <= target {
+			return sol, true
+		}
+	}
+	return core.Solution{Makespan: -1}, true
+}

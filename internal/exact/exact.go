@@ -1,0 +1,283 @@
+// Package exact solves the discrete resource-time tradeoff problem with
+// resource reuse over paths *exactly* on small instances.
+//
+// The paper proves both optimization directions strongly NP-hard
+// (Theorems 4.1-4.4), so no polynomial algorithm is expected; this package
+// provides the optimum oracle that the reproduction needs in two places:
+// measuring the true approximation ratios of Section 3's algorithms on
+// random instances (Table 1), and machine-verifying the hardness gadgets of
+// Section 4 in both directions.
+//
+// The search works on the space of tuple assignments rather than flows.  A
+// tuple assignment picks, for every arc, one breakpoint of its duration
+// function; the assignment is realizable iff some integral flow meets every
+// picked breakpoint's resource requirement, and the cheapest such flow is a
+// minimum flow with lower bounds (computed exactly by internal/flow).  Any
+// flow induces the assignment of the breakpoints it reaches, so searching
+// assignments loses nothing.  The branching rule is path repair: if the
+// current critical path is too long, some arc on it must be raised to a
+// higher breakpoint; children raise each candidate arc in turn, freezing
+// the arcs tried before it (the classical hitting-set enumeration, which
+// visits every minimal repair exactly once).
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/flow"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of search nodes expanded; 0 means the
+	// default of 1<<20.  When exceeded the result carries Complete=false.
+	MaxNodes int
+}
+
+// Stats reports how the search went.
+type Stats struct {
+	Nodes    int  // search nodes expanded
+	Complete bool // false if MaxNodes was exhausted (result may be suboptimal)
+}
+
+// ErrNoSolution is returned by MinResource when no assignment meets the
+// makespan target even with unlimited resources.
+var ErrNoSolution = errors.New("exact: no solution meets the target")
+
+const defaultMaxNodes = 1 << 20
+
+type searcher struct {
+	inst     *core.Instance
+	tuples   [][]duration.Tuple
+	minTimes []int64
+
+	budget int64 // resource cap (-1: none)
+	target int64 // makespan cap (-1: none)
+
+	// minimizeResource selects the objective: resource value (true) or
+	// makespan (false).
+	minimizeResource bool
+	stopAt           int64 // early-exit threshold for decision runs (-1: none)
+
+	level  []int
+	frozen []bool
+
+	bestVal  int64
+	bestFlow []int64
+	found    bool
+
+	nodes    int
+	maxNodes int
+	stopped  bool
+	done     bool
+}
+
+func newSearcher(inst *core.Instance, opts *Options) *searcher {
+	s := &searcher{
+		inst:     inst,
+		level:    make([]int, inst.G.NumEdges()),
+		frozen:   make([]bool, inst.G.NumEdges()),
+		budget:   -1,
+		target:   -1,
+		stopAt:   -1,
+		maxNodes: defaultMaxNodes,
+	}
+	if opts != nil && opts.MaxNodes > 0 {
+		s.maxNodes = opts.MaxNodes
+	}
+	for e := 0; e < inst.G.NumEdges(); e++ {
+		ts := inst.Fns[e].Tuples()
+		s.tuples = append(s.tuples, ts)
+		s.minTimes = append(s.minTimes, ts[len(ts)-1].T)
+	}
+	return s
+}
+
+func (s *searcher) lowerBounds() []int64 {
+	lb := make([]int64, len(s.level))
+	for e, l := range s.level {
+		lb[e] = s.tuples[e][l].R
+	}
+	return lb
+}
+
+func (s *searcher) durations() []int64 {
+	d := make([]int64, len(s.level))
+	for e, l := range s.level {
+		d[e] = s.tuples[e][l].T
+	}
+	return d
+}
+
+// optimisticMakespan is a subtree lower bound on the makespan: frozen arcs
+// keep their current duration, all others drop to their best possible.
+func (s *searcher) optimisticMakespan() int64 {
+	d := make([]int64, len(s.level))
+	for e := range d {
+		if s.frozen[e] {
+			d[e] = s.tuples[e][s.level[e]].T
+		} else {
+			d[e] = s.minTimes[e]
+		}
+	}
+	m, err := s.inst.G.Makespan(d)
+	if err != nil {
+		panic(err) // instance was validated
+	}
+	return m
+}
+
+func (s *searcher) recurse() {
+	if s.done || s.stopped {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.stopped = true
+		return
+	}
+
+	res, err := flow.MinFlow(s.inst.G, s.lowerBounds(), s.inst.Source, s.inst.Sink)
+	if err != nil {
+		// Lower bounds on a validated instance are always feasible; treat
+		// a failure as a pruned branch but record nothing.
+		return
+	}
+	if s.budget >= 0 && res.Value > s.budget {
+		return
+	}
+	if s.minimizeResource && s.found && res.Value >= s.bestVal {
+		return // resource usage only grows deeper in this subtree
+	}
+
+	d := s.durations()
+	assignMakespan, err := s.inst.G.Makespan(d)
+	if err != nil {
+		panic(err)
+	}
+
+	if s.minimizeResource {
+		if assignMakespan <= s.target {
+			if !s.found || res.Value < s.bestVal {
+				s.found = true
+				s.bestVal = res.Value
+				s.bestFlow = res.EdgeFlow
+				if s.stopAt >= 0 && s.bestVal <= s.stopAt {
+					s.done = true
+				}
+			}
+			return // deeper assignments only cost more resource
+		}
+	} else {
+		// Record the realized solution: the min-flow may exceed some lower
+		// bounds, so evaluate the true durations under it.
+		realized, err := s.inst.Makespan(res.EdgeFlow)
+		if err != nil {
+			panic(err)
+		}
+		if !s.found || realized < s.bestVal {
+			s.found = true
+			s.bestVal = realized
+			s.bestFlow = res.EdgeFlow
+			if s.stopAt >= 0 && s.bestVal <= s.stopAt {
+				s.done = true
+				return
+			}
+		}
+		if s.optimisticMakespan() >= s.bestVal {
+			return // this subtree cannot beat the incumbent
+		}
+	}
+
+	// Path repair: raise arcs on the current critical path.
+	path, _, err := s.inst.G.CriticalPath(d)
+	if err != nil {
+		panic(err)
+	}
+	var candidates []int
+	for _, e := range path {
+		if !s.frozen[e] && s.level[e]+1 < len(s.tuples[e]) {
+			candidates = append(candidates, e)
+		}
+	}
+	var thawed []int
+	for _, e := range candidates {
+		s.level[e]++
+		s.recurse()
+		s.level[e]--
+		if s.done || s.stopped {
+			break
+		}
+		if !s.frozen[e] {
+			s.frozen[e] = true
+			thawed = append(thawed, e)
+		}
+	}
+	for _, e := range thawed {
+		s.frozen[e] = false
+	}
+}
+
+func (s *searcher) solution() (core.Solution, Stats, error) {
+	stats := Stats{Nodes: s.nodes, Complete: !s.stopped}
+	if !s.found {
+		return core.Solution{}, stats, ErrNoSolution
+	}
+	sol, err := s.inst.NewSolution(s.bestFlow)
+	if err != nil {
+		return core.Solution{}, stats, fmt.Errorf("exact: internal solution invalid: %w", err)
+	}
+	return sol, stats, nil
+}
+
+// MinMakespan finds an optimal flow of value at most budget minimizing the
+// makespan.
+func MinMakespan(inst *core.Instance, budget int64, opts *Options) (core.Solution, Stats, error) {
+	if budget < 0 {
+		return core.Solution{}, Stats{}, fmt.Errorf("exact: negative budget %d", budget)
+	}
+	s := newSearcher(inst, opts)
+	s.budget = budget
+	s.minimizeResource = false
+	s.recurse()
+	return s.solution()
+}
+
+// MinResource finds a flow of minimum value whose makespan is at most
+// target.  It returns ErrNoSolution if the target is unreachable.
+func MinResource(inst *core.Instance, target int64, opts *Options) (core.Solution, Stats, error) {
+	if target < inst.MakespanLowerBound() {
+		return core.Solution{}, Stats{Complete: true}, ErrNoSolution
+	}
+	s := newSearcher(inst, opts)
+	s.target = target
+	s.minimizeResource = true
+	s.recurse()
+	return s.solution()
+}
+
+// Feasible decides whether some flow of value at most budget achieves
+// makespan at most target; when it does, a witness solution is returned.
+func Feasible(inst *core.Instance, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
+	if target < inst.MakespanLowerBound() {
+		return false, core.Solution{}, Stats{Complete: true}, nil
+	}
+	s := newSearcher(inst, opts)
+	s.target = target
+	s.budget = budget
+	s.minimizeResource = true
+	s.stopAt = budget
+	s.recurse()
+	stats := Stats{Nodes: s.nodes, Complete: !s.stopped}
+	if !s.found || s.bestVal > budget {
+		return false, core.Solution{}, stats, nil
+	}
+	sol, err := s.inst.NewSolution(s.bestFlow)
+	if err != nil {
+		return false, core.Solution{}, stats, err
+	}
+	return true, sol, stats, nil
+}

@@ -1,0 +1,241 @@
+// Package flow implements integral network flow: Dinic's max-flow algorithm
+// and, on top of it, minimum flow with per-edge lower bounds.
+//
+// Min-flow is the combinatorial engine behind Section 3.1 of Das et al.
+// (SPAA 2019): after LP rounding yields an integral resource requirement
+// f'_e on every arc, the total resource budget is minimized by computing a
+// minimum source-to-sink flow whose value on every arc is at least f'_e
+// (LP 11-13 in the paper, which has integral optima).  The returned flow is
+// integral, certifying Lemma 3.3.
+package flow
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Dinic is a max-flow network over dense integer node IDs.  Arcs are added
+// in pairs (forward + residual).  The zero value is not usable; construct
+// with NewDinic.
+type Dinic struct {
+	n     int
+	to    []int
+	cap   []int64
+	head  [][]int // node -> arc indices
+	level []int
+	iter  []int
+}
+
+// NewDinic returns an empty network with n nodes.
+func NewDinic(n int) *Dinic {
+	return &Dinic{
+		n:     n,
+		head:  make([][]int, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+	}
+}
+
+// AddArc adds a directed arc u -> v with the given capacity and returns its
+// arc index.  The residual arc is the returned index XOR 1.
+func (d *Dinic) AddArc(u, v int, capacity int64) int {
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", capacity))
+	}
+	id := len(d.to)
+	d.to = append(d.to, v, u)
+	d.cap = append(d.cap, capacity, 0)
+	d.head[u] = append(d.head[u], id)
+	d.head[v] = append(d.head[v], id+1)
+	return id
+}
+
+// Flow reports the amount currently pushed along arc id (the capacity that
+// has moved to its residual).
+func (d *Dinic) Flow(id int) int64 { return d.cap[id^1] }
+
+// SetCap overrides the remaining capacity of arc id; used to freeze
+// auxiliary arcs between phases of the lower-bound transformation.
+func (d *Dinic) SetCap(id int, capacity int64) { d.cap[id] = capacity }
+
+func (d *Dinic) bfs(s, t int) bool {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int, 0, d.n)
+	queue = append(queue, s)
+	d.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range d.head[v] {
+			if d.cap[id] > 0 && d.level[d.to[id]] < 0 {
+				d.level[d.to[id]] = d.level[v] + 1
+				queue = append(queue, d.to[id])
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *Dinic) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; d.iter[v] < len(d.head[v]); d.iter[v]++ {
+		id := d.head[v][d.iter[v]]
+		w := d.to[id]
+		if d.cap[id] <= 0 || d.level[w] != d.level[v]+1 {
+			continue
+		}
+		pushed := f
+		if d.cap[id] < pushed {
+			pushed = d.cap[id]
+		}
+		if got := d.dfs(w, t, pushed); got > 0 {
+			d.cap[id] -= got
+			d.cap[id^1] += got
+			return got
+		}
+	}
+	return 0
+}
+
+const inf = int64(1) << 60
+
+// MaxFlow runs Dinic's algorithm from s to t and returns the max-flow
+// value.  It may be called repeatedly (e.g. after modifying capacities);
+// each call augments the current flow.
+func (d *Dinic) MaxFlow(s, t int) int64 {
+	var total int64
+	for d.bfs(s, t) {
+		for i := range d.iter {
+			d.iter[i] = 0
+		}
+		for {
+			f := d.dfs(s, t, inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// Result is an integral flow on a DAG's edges.
+type Result struct {
+	// EdgeFlow[e] is the flow on edge e of the input graph.
+	EdgeFlow []int64
+	// Value is the net flow out of the source.
+	Value int64
+}
+
+// ErrInfeasible is returned when no flow satisfies the lower bounds; with a
+// validated single-source single-sink DAG this cannot happen (every edge
+// lies on a source-to-sink path), so seeing it indicates a malformed input.
+var ErrInfeasible = errors.New("flow: lower bounds are infeasible")
+
+// MinFlow computes a minimum-value integral s-to-t flow on g subject to
+// EdgeFlow[e] >= lower[e] for every edge, with no upper capacities (the
+// paper's model places no caps on how much resource an arc may carry).
+//
+// The algorithm is the textbook two-phase reduction: (1) find any feasible
+// flow via a super-source/super-sink max-flow with a t->s return arc;
+// (2) cancel as much of the return flow as possible by running max-flow
+// from t to s in the residual network.  Both phases are integral, so the
+// result is integral, matching the integrality argument of Lemma 3.3.
+func MinFlow(g *dag.Graph, lower []int64, s, t int) (Result, error) {
+	m := g.NumEdges()
+	if len(lower) != m {
+		return Result{}, fmt.Errorf("flow: got %d lower bounds for %d edges", len(lower), m)
+	}
+	var totalLower int64
+	for e, l := range lower {
+		if l < 0 {
+			return Result{}, fmt.Errorf("flow: negative lower bound on edge %d", e)
+		}
+		totalLower += l
+	}
+	// Any single edge never needs to carry more than the sum of all lower
+	// bounds in some optimal solution (route one unit path per unit of
+	// lower bound), so this is a safe finite stand-in for "no cap".
+	bigCap := totalLower + 1
+
+	n := g.NumNodes()
+	ss, tt := n, n+1
+	d := NewDinic(n + 2)
+
+	arcOf := make([]int, m)
+	excess := make([]int64, n)
+	for e := 0; e < m; e++ {
+		ed := g.Edge(e)
+		arcOf[e] = d.AddArc(ed.From, ed.To, bigCap-lower[e])
+		excess[ed.To] += lower[e]
+		excess[ed.From] -= lower[e]
+	}
+	var need int64
+	auxArcs := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case excess[v] > 0:
+			auxArcs = append(auxArcs, d.AddArc(ss, v, excess[v]))
+			need += excess[v]
+		case excess[v] < 0:
+			auxArcs = append(auxArcs, d.AddArc(v, tt, -excess[v]))
+		}
+	}
+	returnArc := d.AddArc(t, s, bigCap)
+
+	if got := d.MaxFlow(ss, tt); got != need {
+		return Result{}, ErrInfeasible
+	}
+
+	// Freeze the auxiliary arcs so phase 2 cannot undo feasibility, remove
+	// the return arc, and cancel circulation flow from t to s.
+	for _, a := range auxArcs {
+		d.SetCap(a, 0)
+		d.SetCap(a^1, 0)
+	}
+	value := d.Flow(returnArc)
+	d.SetCap(returnArc, 0)
+	d.SetCap(returnArc^1, 0)
+	value -= d.MaxFlow(t, s)
+
+	res := Result{EdgeFlow: make([]int64, m), Value: value}
+	for e := 0; e < m; e++ {
+		res.EdgeFlow[e] = lower[e] + d.Flow(arcOf[e])
+	}
+	return res, nil
+}
+
+// Conserved checks that f is a valid s-to-t flow on g: non-negative, with
+// net outflow zero at every internal node, and returns the flow value.
+func Conserved(g *dag.Graph, f []int64, s, t int) (int64, error) {
+	if len(f) != g.NumEdges() {
+		return 0, fmt.Errorf("flow: got %d flows for %d edges", len(f), g.NumEdges())
+	}
+	net := make([]int64, g.NumNodes())
+	for e := 0; e < g.NumEdges(); e++ {
+		if f[e] < 0 {
+			return 0, fmt.Errorf("flow: negative flow on edge %d", e)
+		}
+		ed := g.Edge(e)
+		net[ed.From] -= f[e]
+		net[ed.To] += f[e]
+	}
+	for v := range net {
+		if v == s || v == t {
+			continue
+		}
+		if net[v] != 0 {
+			return 0, fmt.Errorf("flow: conservation violated at node %d (net %d)", v, net[v])
+		}
+	}
+	if -net[s] != net[t] {
+		return 0, fmt.Errorf("flow: source outflow %d != sink inflow %d", -net[s], net[t])
+	}
+	return -net[s], nil
+}

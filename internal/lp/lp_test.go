@@ -1,0 +1,237 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v; want optimal", sol.Status)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - y  s.t.  x + y <= 4, x <= 2  => x=2, y=2, obj=-4.
+	p := New(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddConstraint(LE, []Term{{0, 1}, {1, 1}}, 4)
+	p.AddConstraint(LE, []Term{{0, 1}}, 2)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -4) {
+		t.Fatalf("objective = %v; want -4", sol.Objective)
+	}
+	if !approx(sol.X[0]+sol.X[1], 4) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestGEAndEQ(t *testing.T) {
+	// min x + y  s.t.  x + 2y >= 6, x = 2  => y = 2, obj = 4.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint(GE, []Term{{0, 1}, {1, 2}}, 6)
+	p.AddConstraint(EQ, []Term{{0, 1}}, 2)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 4) || !approx(sol.X[0], 2) || !approx(sol.X[1], 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.AddConstraint(LE, []Term{{0, 1}}, 1)
+	p.AddConstraint(GE, []Term{{0, 1}}, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v; want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint(GE, []Term{{0, 1}}, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v; want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x  s.t.  -x <= -3  (i.e. x >= 3).
+	p := New(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint(LE, []Term{{0, -1}}, -3)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 3) {
+		t.Fatalf("x = %v; want 3", sol.X[0])
+	}
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	// x + x <= 4 means 2x <= 4.
+	p := New(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint(LE, []Term{{0, 1}, {0, 1}}, 4)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 2) {
+		t.Fatalf("x = %v; want 2", sol.X[0])
+	}
+}
+
+func TestDegenerateEquality(t *testing.T) {
+	// Redundant equalities should not confuse phase 1.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint(EQ, []Term{{0, 1}, {1, 1}}, 2)
+	p.AddConstraint(EQ, []Term{{0, 2}, {1, 2}}, 4) // same constraint doubled
+	p.AddConstraint(GE, []Term{{0, 1}}, 1)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 1) || !approx(sol.X[1], 1) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := New(2)
+	p.AddConstraint(EQ, []Term{{0, 1}, {1, -1}}, 0)
+	p.AddConstraint(GE, []Term{{0, 1}}, 5)
+	sol := solveOK(t, p)
+	if sol.X[0] < 5-1e-9 || !approx(sol.X[0], sol.X[1]) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestPanicsOnBadVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range variable")
+		}
+	}()
+	New(1).AddConstraint(LE, []Term{{3, 1}}, 1)
+}
+
+// TestTransportation solves a classic balanced transportation problem with
+// a known optimum.
+func TestTransportation(t *testing.T) {
+	// Supplies: 20, 30.  Demands: 10, 25, 15.
+	// Costs: [2 3 1; 5 4 8].  Known optimal cost = 145.
+	//   x00=0  x01=5  x02=15 (cost 15+15=30); x10=10 x11=20 x12=0
+	//   cost = 0+15+15 + 50+80 = 160?  Compute via solver and verify
+	//   against brute force below instead of a hand value.
+	costs := [][]float64{{2, 3, 1}, {5, 4, 8}}
+	supply := []float64{20, 30}
+	demand := []float64{10, 25, 15}
+	p := New(6)
+	idx := func(i, j int) int { return i*3 + j }
+	for i := range supply {
+		var terms []Term
+		for j := range demand {
+			p.SetObjective(idx(i, j), costs[i][j])
+			terms = append(terms, Term{idx(i, j), 1})
+		}
+		p.AddConstraint(EQ, terms, supply[i])
+	}
+	for j := range demand {
+		var terms []Term
+		for i := range supply {
+			terms = append(terms, Term{idx(i, j), 1})
+		}
+		p.AddConstraint(EQ, terms, demand[j])
+	}
+	sol := solveOK(t, p)
+
+	// Brute-force over integral shipments (optimum is integral here since
+	// the constraint matrix is totally unimodular).
+	best := math.Inf(1)
+	for x00 := 0.0; x00 <= 10; x00++ {
+		for x01 := 0.0; x01 <= 20-x00; x01++ {
+			x02 := 20 - x00 - x01
+			x10 := 10 - x00
+			x11 := 25 - x01
+			x12 := 15 - x02
+			if x02 < 0 || x10 < 0 || x11 < 0 || x12 < 0 {
+				continue
+			}
+			if x10+x11+x12 != 30 {
+				continue
+			}
+			c := 2*x00 + 3*x01 + 1*x02 + 5*x10 + 4*x11 + 8*x12
+			if c < best {
+				best = c
+			}
+		}
+	}
+	if !approx(sol.Objective, best) {
+		t.Fatalf("objective = %v; brute force = %v", sol.Objective, best)
+	}
+}
+
+// TestRandomAgainstEnumeration checks small random LPs with bounded-box
+// constraints against grid enumeration of the vertices.
+func TestRandomAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		// min c.x s.t. A x <= b, 0 <= x <= 3 with A >= 0 and b >= 0:
+		// feasible region nonempty (x=0) and bounded.
+		n := 2
+		c := []float64{float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3)}
+		var a [][]float64
+		var b []float64
+		for i := 0; i < 2; i++ {
+			a = append(a, []float64{float64(rng.Intn(3)), float64(rng.Intn(3))})
+			b = append(b, float64(rng.Intn(6)))
+		}
+		p := New(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, c[j])
+			p.AddConstraint(LE, []Term{{j, 1}}, 3)
+		}
+		for i := range a {
+			p.AddConstraint(LE, []Term{{0, a[i][0]}, {1, a[i][1]}}, b[i])
+		}
+		sol := solveOK(t, p)
+
+		// The optimum of an LP over this region is attained at a vertex;
+		// a fine grid scan gives a sound lower-bound check.
+		best := math.Inf(1)
+		const step = 0.25
+		for x := 0.0; x <= 3; x += step {
+			for y := 0.0; y <= 3; y += step {
+				ok := true
+				for i := range a {
+					if a[i][0]*x+a[i][1]*y > b[i]+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Objective > best+1e-6 {
+			t.Fatalf("trial %d: objective %v worse than grid %v", trial, sol.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package racesim
+
+import (
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// Figure4 reconstructs the running example of Figure 4: a race DAG whose
+// vertex works are their in-degrees, with makespan 11 achieved by the path
+// s -> a -> b -> c -> d -> t.  (The paper gives the figure only as a
+// drawing; this construction reproduces its stated properties exactly:
+// makespan 11 on that path, dropping to 10 when a height-1 reducer is
+// placed on c as in Figure 5.)
+//
+// Node ordering: s, a, b, c, d, t, then five helper cells h1..h5 that give
+// c its in-degree of 6.
+func Figure4() *core.VertexInstance {
+	g := dag.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	t := g.AddNode("t")
+	g.AddEdge(s, a) // a: work 1
+	g.AddEdge(s, b)
+	g.AddEdge(a, b) // b: work 2
+	g.AddEdge(b, c)
+	for i := 0; i < 5; i++ {
+		h := g.AddNode("h")
+		g.AddEdge(s, h)
+		g.AddEdge(h, c) // c: work 6
+	}
+	g.AddEdge(c, d) // d: work 1
+	g.AddEdge(d, t) // t: work 1
+	fns := make([]duration.Func, g.NumNodes())
+	for v := range fns {
+		fns[v] = duration.Constant(int64(g.InDegree(v)))
+	}
+	vi, err := core.NewVertexInstance(g, fns)
+	if err != nil {
+		panic(err) // correct by construction
+	}
+	return vi
+}
+
+// Figure4Nodes names the interesting vertices of Figure4's instance.
+type Figure4Nodes struct{ S, A, B, C, D, T int }
+
+// Figure4Layout returns the vertex IDs used by Figure4.
+func Figure4Layout() Figure4Nodes {
+	return Figure4Nodes{S: 0, A: 1, B: 2, C: 3, D: 4, T: 5}
+}
+
+// Figure5 applies the height-1 supernode of Figure 5 to Figure 4's vertex
+// c, dropping the makespan from 11 to 10 with 2 units of extra space; the
+// critical path becomes s -> a -> b -> c1 -> c -> d -> t.
+func Figure5() (*core.VertexInstance, error) {
+	return SupernodeBinary(Figure4(), Figure4Layout().C, 1)
+}

@@ -1,0 +1,73 @@
+package racesim
+
+// This file reproduces Figure 1: two logically parallel threads increment
+// a shared variable x through a local register (r = x; r = r + 1; x = r).
+// Without mutual exclusion the interleaving decides the outcome; the
+// figure's point is that anything other than serial execution loses an
+// increment.
+
+// incrementThread is the three-instruction program of Figure 1.
+type incrementThread struct {
+	pc  int
+	reg int
+}
+
+// step executes one instruction against the shared variable, returning its
+// new value.
+func (th *incrementThread) step(x int) int {
+	switch th.pc {
+	case 0:
+		th.reg = x // r = x
+	case 1:
+		th.reg++ // r = r + 1
+	case 2:
+		x = th.reg // x = r
+	}
+	th.pc++
+	return x
+}
+
+// RaceOutcomes enumerates every interleaving of two increment threads and
+// returns the set of final values of x (initially 0).  When locked is
+// true each thread's three instructions run atomically, modelling the
+// mutex fix; the only outcome is then 2.  When false, the data race also
+// allows 1 - a lost update.
+func RaceOutcomes(locked bool) map[int]bool {
+	outcomes := make(map[int]bool)
+	if locked {
+		// Two serializations, both yielding 2.
+		for order := 0; order < 2; order++ {
+			x := 0
+			a, b := &incrementThread{}, &incrementThread{}
+			first, second := a, b
+			if order == 1 {
+				first, second = b, a
+			}
+			for i := 0; i < 3; i++ {
+				x = first.step(x)
+			}
+			for i := 0; i < 3; i++ {
+				x = second.step(x)
+			}
+			outcomes[x] = true
+		}
+		return outcomes
+	}
+	var rec func(x int, a, b incrementThread)
+	rec = func(x int, a, b incrementThread) {
+		if a.pc == 3 && b.pc == 3 {
+			outcomes[x] = true
+			return
+		}
+		if a.pc < 3 {
+			na := a
+			rec(na.step(x), na, b)
+		}
+		if b.pc < 3 {
+			nb := b
+			rec(nb.step(x), a, nb)
+		}
+	}
+	rec(0, incrementThread{}, incrementThread{})
+	return outcomes
+}

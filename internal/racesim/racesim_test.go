@@ -1,0 +1,377 @@
+package racesim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func simulate(t *testing.T, tr *Trace, procs int) *SimResult {
+	t.Helper()
+	res, err := Simulate(tr, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulateSerialCell(t *testing.T) {
+	// n updates to one cell serialize: finish time n.
+	for _, n := range []int{1, 5, 17} {
+		res := simulate(t, SingleCell(n), 0)
+		if res.FinishTime != int64(n) {
+			t.Fatalf("n=%d: finish = %d; want %d", n, res.FinishTime, n)
+		}
+		if res.CellFinal[0] != int64(n) {
+			t.Fatalf("n=%d: cell final = %d", n, res.CellFinal[0])
+		}
+	}
+}
+
+func TestSimulateChain(t *testing.T) {
+	// c0 <- const, c1 <- c0, c2 <- c1: strictly serial, 3 time units.
+	tr := &Trace{NumCells: 3, Updates: []Update{
+		{Dst: 0},
+		{Dst: 1, Srcs: []int{0}},
+		{Dst: 2, Srcs: []int{1}},
+	}}
+	res := simulate(t, tr, 0)
+	if res.FinishTime != 3 {
+		t.Fatalf("finish = %d; want 3", res.FinishTime)
+	}
+}
+
+func TestSimulateDeadlock(t *testing.T) {
+	tr := &Trace{NumCells: 2, Updates: []Update{
+		{Dst: 0, Srcs: []int{1}},
+		{Dst: 1, Srcs: []int{0}},
+	}}
+	if _, err := Simulate(tr, 0); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v; want ErrDeadlock", err)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(&Trace{NumCells: 1, Updates: []Update{{Dst: 5}}}, 0); err == nil {
+		t.Fatal("want error for out-of-range dst")
+	}
+	if _, err := Simulate(&Trace{NumCells: 1, Updates: []Update{{Dst: 0, Srcs: []int{7}}}}, 0); err == nil {
+		t.Fatal("want error for out-of-range src")
+	}
+}
+
+func TestSimulateBoundedProcs(t *testing.T) {
+	// k independent single-update cells: P procs finish in ceil(k/P).
+	k := 10
+	tr := &Trace{NumCells: k}
+	for c := 0; c < k; c++ {
+		tr.Updates = append(tr.Updates, Update{Dst: c})
+	}
+	for procs, want := range map[int]int64{1: 10, 2: 5, 3: 4, 10: 1, 0: 1} {
+		res := simulate(t, tr, procs)
+		if res.FinishTime != want {
+			t.Fatalf("procs=%d: finish = %d; want %d", procs, res.FinishTime, want)
+		}
+	}
+}
+
+// TestReducerFormula verifies the Section 1 claim: a self-parent binary
+// reducer of height h applies n updates in ceil(n/2^h) + h + 1 time.
+func TestReducerFormula(t *testing.T) {
+	for _, n := range []int{8, 9, 64, 100, 1000} {
+		for h := 1; h <= 5; h++ {
+			tr, err := WithBinaryReducer(SingleCell(n), 0, h, SelfParent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := simulate(t, tr, 0)
+			leaves := int64(1) << uint(h)
+			want := (int64(n)+leaves-1)/leaves + int64(h) + 1
+			if res.CellFinal[0] != want {
+				t.Fatalf("n=%d h=%d: finish = %d; want %d", n, h, res.CellFinal[0], want)
+			}
+			// Space accounting: 2^h extra cells.
+			if got := tr.NumCells - 1; got != int(leaves) {
+				t.Fatalf("n=%d h=%d: extra space = %d; want %d", n, h, got, leaves)
+			}
+		}
+	}
+}
+
+// TestReducerSpeedupNearlyLinear checks the Section 1 observation that for
+// large n the reducer speedup is almost linear in the space used.
+func TestReducerSpeedupNearlyLinear(t *testing.T) {
+	n := 4096
+	base := simulate(t, SingleCell(n), 0).FinishTime
+	for h := 1; h <= 6; h++ {
+		tr, err := WithBinaryReducer(SingleCell(n), 0, h, SelfParent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulate(t, tr, 0)
+		speedup := float64(base) / float64(res.FinishTime)
+		space := float64(int64(1) << uint(h))
+		if speedup < 0.8*space {
+			t.Fatalf("h=%d: speedup %.2f far below space %v", h, speedup, space)
+		}
+	}
+}
+
+func TestFullTreeVariant(t *testing.T) {
+	for _, n := range []int{16, 100} {
+		for h := 1; h <= 4; h++ {
+			tr, err := WithBinaryReducer(SingleCell(n), 0, h, FullTree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := simulate(t, tr, 0)
+			leaves := int64(1) << uint(h)
+			lo := (int64(n)+leaves-1)/leaves + int64(h) + 1
+			hi := (int64(n)+leaves-1)/leaves + 2*int64(h)
+			if res.CellFinal[0] < lo || res.CellFinal[0] > hi {
+				t.Fatalf("n=%d h=%d: finish = %d; want within [%d, %d]",
+					n, h, res.CellFinal[0], lo, hi)
+			}
+			// Space accounting: 2^(h+1)-2 extra cells.
+			if got, want := tr.NumCells-1, int(2*leaves-2); got != want {
+				t.Fatalf("n=%d h=%d: extra space = %d; want %d", n, h, got, want)
+			}
+		}
+	}
+}
+
+func TestReducerWithEnoughProcsMatchesUnbounded(t *testing.T) {
+	n := 256
+	for h := 1; h <= 4; h++ {
+		tr, err := WithBinaryReducer(SingleCell(n), 0, h, SelfParent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unbounded := simulate(t, tr, 0).FinishTime
+		bounded := simulate(t, tr, 1<<uint(h)).FinishTime
+		if bounded != unbounded {
+			t.Fatalf("h=%d: %d procs give %d; unbounded gives %d", h, 1<<uint(h), bounded, unbounded)
+		}
+	}
+}
+
+func TestKWaySplit(t *testing.T) {
+	// k-way split: n updates over k cells then k root updates:
+	// ceil(n/k) + k when the root's updates pipeline behind the slowest
+	// leaf.  (Equation 2's duration.)
+	for _, n := range []int{100, 37} {
+		for _, k := range []int{2, 5, 10} {
+			tr, err := WithKWaySplit(SingleCell(n), 0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := simulate(t, tr, 0)
+			want := (int64(n)+int64(k)-1)/int64(k) + int64(k)
+			// The DES can beat the closed form slightly when leaves finish
+			// staggered and root updates pipeline early.
+			if res.CellFinal[0] > want || res.CellFinal[0] < want/2 {
+				t.Fatalf("n=%d k=%d: finish = %d; want about %d", n, k, res.CellFinal[0], want)
+			}
+			if got := tr.NumCells - 1; got != k {
+				t.Fatalf("space = %d; want %d", got, k)
+			}
+		}
+	}
+}
+
+func TestKWayAndHeightZeroNoops(t *testing.T) {
+	tr := SingleCell(5)
+	same, err := WithKWaySplit(tr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.NumCells != 1 || len(same.Updates) != 5 {
+		t.Fatal("k=1 should be a no-op copy")
+	}
+	same, err = WithBinaryReducer(tr, 0, 0, SelfParent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.NumCells != 1 || len(same.Updates) != 5 {
+		t.Fatal("h=0 should be a no-op copy")
+	}
+	if _, err := WithBinaryReducer(tr, 9, 1, SelfParent); err == nil {
+		t.Fatal("want error for missing cell")
+	}
+	if _, err := WithBinaryReducer(tr, 0, -1, SelfParent); err == nil {
+		t.Fatal("want error for negative height")
+	}
+	if _, err := WithKWaySplit(tr, 9, 2); err == nil {
+		t.Fatal("want error for missing cell")
+	}
+}
+
+// TestSimulateMatchesEarliestFinish cross-checks the DES against the
+// closed-form recurrence in core for single-source traces.
+func TestSimulateMatchesEarliestFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		tr := randomSingleSrcTrace(rng)
+		res, err := Simulate(tr, 0)
+		if err != nil {
+			continue // random trace may be cyclic; skip
+		}
+		vi, err := tr.RaceInstance(core.NoReducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ef, err := vi.EarliestFinish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef != res.FinishTime {
+			t.Fatalf("trial %d: EarliestFinish %d != simulated %d", trial, ef, res.FinishTime)
+		}
+		// Observation 1.1: simulated time <= DAG makespan.
+		ms, err := vi.Makespan(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinishTime > ms {
+			t.Fatalf("trial %d: simulated %d > makespan %d", trial, res.FinishTime, ms)
+		}
+	}
+}
+
+// randomSingleSrcTrace builds an acyclic-by-construction trace where each
+// update's source is a strictly lower cell (or a constant).
+func randomSingleSrcTrace(rng *rand.Rand) *Trace {
+	n := 3 + rng.Intn(5)
+	tr := &Trace{NumCells: n}
+	for i := 0; i < 3*n; i++ {
+		dst := 1 + rng.Intn(n-1)
+		if rng.Intn(3) == 0 {
+			tr.Updates = append(tr.Updates, Update{Dst: dst})
+		} else {
+			tr.Updates = append(tr.Updates, Update{Dst: dst, Srcs: []int{rng.Intn(dst)}})
+		}
+	}
+	return tr
+}
+
+func TestParallelMMBaseline(t *testing.T) {
+	// Figure 3: without reducers every Z cell serializes n updates, so the
+	// whole multiply takes exactly n time on unbounded processors.
+	for _, n := range []int{2, 4, 8} {
+		m := ParallelMM(n)
+		res := simulate(t, m.Trace, 0)
+		if res.FinishTime != int64(n) {
+			t.Fatalf("n=%d: finish = %d; want %d", n, res.FinishTime, n)
+		}
+		if len(m.Updates) != n*n*n {
+			t.Fatalf("n=%d: %d updates; want n^3", n, len(m.Updates))
+		}
+	}
+}
+
+func TestParallelMMWithReducers(t *testing.T) {
+	// With height-h reducers on every Z cell the multiply takes
+	// ceil(n/2^h) + h + 1 (all cells are independent), using n^2 * 2^h
+	// extra space.
+	n := 16
+	m := ParallelMM(n)
+	for h := 1; h <= 4; h++ {
+		tr, extra, err := m.WithReducersOnZ(h, SelfParent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulate(t, tr, 0)
+		leaves := int64(1) << uint(h)
+		want := (int64(n)+leaves-1)/leaves + int64(h) + 1
+		if res.FinishTime != want {
+			t.Fatalf("h=%d: finish = %d; want %d", h, res.FinishTime, want)
+		}
+		if extra != n*n*int(leaves) {
+			t.Fatalf("h=%d: extra space = %d; want %d", h, extra, n*n*int(leaves))
+		}
+	}
+}
+
+func TestRaceOutcomesFigure1(t *testing.T) {
+	unlocked := RaceOutcomes(false)
+	if !unlocked[1] || !unlocked[2] || len(unlocked) != 2 {
+		t.Fatalf("unlocked outcomes = %v; want {1, 2}", unlocked)
+	}
+	locked := RaceOutcomes(true)
+	if !locked[2] || len(locked) != 1 {
+		t.Fatalf("locked outcomes = %v; want {2}", locked)
+	}
+}
+
+func TestFigure4Makespan(t *testing.T) {
+	vi := Figure4()
+	m, err := vi.Makespan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 11 {
+		t.Fatalf("Figure 4 makespan = %d; want 11", m)
+	}
+	// The stated critical path s->a->b->c->d->t sums to 11.
+	nodes := Figure4Layout()
+	works := []int64{vi.Work(nodes.A), vi.Work(nodes.B), vi.Work(nodes.C), vi.Work(nodes.D), vi.Work(nodes.T)}
+	var sum int64
+	for _, w := range works {
+		sum += w
+	}
+	if sum != 11 {
+		t.Fatalf("path works sum to %d; want 11 (works %v)", sum, works)
+	}
+}
+
+func TestFigure5SupernodeDropsMakespanTo10(t *testing.T) {
+	vi, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vi.Makespan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 10 {
+		t.Fatalf("Figure 5 makespan = %d; want 10", m)
+	}
+	// Two units of extra space were added (the two leaves c1, c2).
+	if got := vi.G.NumNodes() - Figure4().G.NumNodes(); got != 2 {
+		t.Fatalf("extra vertices = %d; want 2", got)
+	}
+}
+
+func TestSupernodeValidation(t *testing.T) {
+	vi := Figure4()
+	if _, err := SupernodeBinary(vi, -1, 1); err == nil {
+		t.Fatal("want error for bad vertex")
+	}
+	if _, err := SupernodeBinary(vi, 0, 0); err == nil {
+		t.Fatal("want error for height 0")
+	}
+}
+
+func TestRaceInstanceShape(t *testing.T) {
+	tr := &Trace{NumCells: 3, Updates: []Update{
+		{Dst: 1, Srcs: []int{0}},
+		{Dst: 1, Srcs: []int{0}},
+		{Dst: 2, Srcs: []int{1}},
+	}}
+	vi, err := tr.RaceInstance(core.NoReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells 0..2 plus virtual source and sink.
+	if vi.G.NumNodes() != 5 {
+		t.Fatalf("nodes = %d; want 5", vi.G.NumNodes())
+	}
+	if vi.Work(1) != 2 || vi.Work(2) != 1 || vi.Work(0) != 0 {
+		t.Fatalf("works = %d %d %d", vi.Work(0), vi.Work(1), vi.Work(2))
+	}
+	if _, err := tr.RaceInstance(core.ReducerKind(42)); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}

@@ -1,0 +1,187 @@
+package racesim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// BinaryVariant selects which binary-reducer construction to use.
+type BinaryVariant int
+
+// Binary reducer variants (both from Section 1 / Figure 2).
+const (
+	// SelfParent is the space-efficient variant: only the 2^h leaves are
+	// extra cells; when a node finishes before its sibling it becomes its
+	// own parent and the sibling updates it.  Uses 2^h extra space and
+	// applies n updates in ceil(n/2^h) + h + 1 time - the numbers behind
+	// Equation 3.
+	SelfParent BinaryVariant = iota
+	// FullTree materializes the whole binary tree: 2^(h+1) - 2 extra
+	// cells, each internal node receiving one update per child.  Simpler,
+	// hungrier, and slightly slower; kept for the ablation benchmark.
+	FullTree
+)
+
+// WithBinaryReducer returns a copy of the trace in which the updates
+// targeting cell gets funneled through a recursive binary reducer of
+// height h (Figure 2).  h = 0 returns the trace unchanged.
+func WithBinaryReducer(tr *Trace, cell, h int, variant BinaryVariant) (*Trace, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= tr.NumCells {
+		return nil, fmt.Errorf("racesim: reducer on missing cell %d", cell)
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("racesim: negative reducer height %d", h)
+	}
+	if h == 0 {
+		cp := &Trace{NumCells: tr.NumCells, Updates: append([]Update(nil), tr.Updates...)}
+		return cp, nil
+	}
+	leaves := 1 << uint(h)
+	out := &Trace{NumCells: tr.NumCells}
+
+	switch variant {
+	case SelfParent:
+		// Leaves are cells [base, base+leaves); updates to cell are dealt
+		// round-robin among them; level j merges leaf base+i+2^(j-1) into
+		// leaf base+i for i = 0 mod 2^j; the surviving leaf updates cell.
+		base := out.NumCells
+		out.NumCells += leaves
+		i := 0
+		for _, u := range tr.Updates {
+			if u.Dst == cell {
+				out.Updates = append(out.Updates, Update{Dst: base + i%leaves, Srcs: u.Srcs})
+				i++
+			} else {
+				out.Updates = append(out.Updates, u)
+			}
+		}
+		for j := 1; j <= h; j++ {
+			stepSize := 1 << uint(j)
+			for i := 0; i+stepSize/2 < leaves; i += stepSize {
+				out.Updates = append(out.Updates, Update{
+					Dst:  base + i,
+					Srcs: []int{base + i + stepSize/2},
+				})
+			}
+		}
+		out.Updates = append(out.Updates, Update{Dst: cell, Srcs: []int{base}})
+	case FullTree:
+		// Tree nodes: cell is the root; internal levels 1..h hold
+		// 2, 4, ..., 2^h cells; each node updates its parent once.
+		levels := make([][]int, h+1)
+		levels[0] = []int{cell}
+		for j := 1; j <= h; j++ {
+			width := 1 << uint(j)
+			levels[j] = make([]int, width)
+			for i := range levels[j] {
+				levels[j][i] = out.NumCells
+				out.NumCells++
+			}
+		}
+		leafCells := levels[h]
+		i := 0
+		for _, u := range tr.Updates {
+			if u.Dst == cell {
+				out.Updates = append(out.Updates, Update{Dst: leafCells[i%leaves], Srcs: u.Srcs})
+				i++
+			} else {
+				out.Updates = append(out.Updates, u)
+			}
+		}
+		for j := h; j >= 1; j-- {
+			for i, c := range levels[j] {
+				out.Updates = append(out.Updates, Update{Dst: levels[j-1][i/2], Srcs: []int{c}})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("racesim: unknown binary variant %d", variant)
+	}
+	return out, nil
+}
+
+// WithKWaySplit funnels the updates of cell through a k-way split reducer
+// (Section 2): k extra cells absorb the updates round-robin, then each
+// updates cell once.  k <= 1 returns the trace unchanged.
+func WithKWaySplit(tr *Trace, cell, k int) (*Trace, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= tr.NumCells {
+		return nil, fmt.Errorf("racesim: reducer on missing cell %d", cell)
+	}
+	if k <= 1 {
+		cp := &Trace{NumCells: tr.NumCells, Updates: append([]Update(nil), tr.Updates...)}
+		return cp, nil
+	}
+	out := &Trace{NumCells: tr.NumCells + k}
+	base := tr.NumCells
+	i := 0
+	for _, u := range tr.Updates {
+		if u.Dst == cell {
+			out.Updates = append(out.Updates, Update{Dst: base + i%k, Srcs: u.Srcs})
+			i++
+		} else {
+			out.Updates = append(out.Updates, u)
+		}
+	}
+	for j := 0; j < k; j++ {
+		out.Updates = append(out.Updates, Update{Dst: cell, Srcs: []int{base + j}})
+	}
+	return out, nil
+}
+
+// SupernodeBinary rewrites a vertex-job race instance, replacing vertex v
+// by the Figure 5 supernode: a full binary reducer of height h whose
+// leaves absorb v's incoming arcs round-robin and whose root is v.  Every
+// new vertex's work is its in-degree, like every other vertex of D(P).
+func SupernodeBinary(vi *core.VertexInstance, v, h int) (*core.VertexInstance, error) {
+	if v < 0 || v >= vi.G.NumNodes() {
+		return nil, fmt.Errorf("racesim: supernode on missing vertex %d", v)
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("racesim: supernode height %d < 1", h)
+	}
+	old := vi.G
+	g := dag.New()
+	for i := 0; i < old.NumNodes(); i++ {
+		g.AddNode(old.Name(i))
+	}
+	// Build the tree below v: levels[0] = {v}, level j has 2^j new nodes.
+	levels := make([][]int, h+1)
+	levels[0] = []int{v}
+	for j := 1; j <= h; j++ {
+		width := 1 << uint(j)
+		levels[j] = make([]int, width)
+		for i := range levels[j] {
+			levels[j][i] = g.AddNode(fmt.Sprintf("%s_%d_%d", old.Name(v), j, i))
+		}
+	}
+	leaves := levels[h]
+	dealt := 0
+	for e := 0; e < old.NumEdges(); e++ {
+		ed := old.Edge(e)
+		if ed.To == v {
+			g.AddEdge(ed.From, leaves[dealt%len(leaves)])
+			dealt++
+		} else {
+			g.AddEdge(ed.From, ed.To)
+		}
+	}
+	for j := h; j >= 1; j-- {
+		for i, c := range levels[j] {
+			g.AddEdge(c, levels[j-1][i/2])
+		}
+	}
+	fns := make([]duration.Func, g.NumNodes())
+	for i := range fns {
+		fns[i] = duration.Constant(int64(g.InDegree(i)))
+	}
+	// Preserve the source's (zero) work convention.
+	return core.NewVertexInstance(g, fns)
+}

@@ -1,0 +1,149 @@
+package racesim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// SimResult reports one simulated execution.
+type SimResult struct {
+	// FinishTime is when the last update completes.
+	FinishTime int64
+	// CellFinal[c] is the time cell c became final (all its updates
+	// applied); cells with no updates are final at 0.
+	CellFinal []int64
+	// Applied counts executed updates (always len(tr.Updates) on success).
+	Applied int
+}
+
+// ErrDeadlock is returned when the trace has cyclic read-write
+// dependencies (the paper's model explicitly excludes these).
+var ErrDeadlock = errors.New("racesim: cyclic read-write dependencies, updates can never run")
+
+// event orders ready updates by (ready time, update index).
+type event struct {
+	ready int64
+	idx   int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].idx < h[j].idx
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+
+type int64Heap []int64
+
+func (h int64Heap) Len() int           { return len(h) }
+func (h int64Heap) Less(i, j int) bool { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Simulate executes the trace on the paper's machine model: each update
+// occupies its destination cell's lock for exactly one time unit, updates
+// wait until all their source cells are final, and at most procs updates
+// run concurrently (procs <= 0 means unbounded processors).
+//
+// With unbounded processors the simulation is exact and deterministic.
+// With bounded processors it is a deterministic greedy list schedule in
+// ready-time order (a valid execution; an upper bound on the optimum).
+func Simulate(tr *Trace, procs int) (*SimResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	n := tr.NumCells
+	pending := make([]int, n)
+	waiting := make([][]int, n) // cell -> updates waiting on it as a source
+	remaining := make([]int, len(tr.Updates))
+	for i, u := range tr.Updates {
+		pending[u.Dst]++
+		seen := make(map[int]bool, len(u.Srcs))
+		for _, s := range u.Srcs {
+			if seen[s] {
+				continue // duplicate sources wait once
+			}
+			seen[s] = true
+			waiting[s] = append(waiting[s], i)
+			remaining[i]++
+		}
+	}
+
+	final := make([]int64, n)
+	readyAt := make([]int64, len(tr.Updates))
+	enqueued := make([]bool, len(tr.Updates))
+	var ready eventHeap
+
+	finalize := func(c int, t int64) {
+		final[c] = t
+		for _, ui := range waiting[c] {
+			if readyAt[ui] < t {
+				readyAt[ui] = t
+			}
+			remaining[ui]--
+			if remaining[ui] == 0 && !enqueued[ui] {
+				enqueued[ui] = true
+				ready.push(event{ready: readyAt[ui], idx: ui})
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		if pending[c] == 0 {
+			finalize(c, 0)
+		}
+	}
+	for i := range tr.Updates {
+		if remaining[i] == 0 && !enqueued[i] {
+			enqueued[i] = true
+			ready.push(event{ready: 0, idx: i})
+		}
+	}
+
+	cellFree := make([]int64, n)
+	var procFree int64Heap
+	if procs > 0 {
+		procFree = make(int64Heap, procs)
+		heap.Init(&procFree)
+	}
+
+	res := &SimResult{CellFinal: final}
+	for ready.Len() > 0 {
+		ev := ready.pop()
+		u := tr.Updates[ev.idx]
+		start := ev.ready
+		if cellFree[u.Dst] > start {
+			start = cellFree[u.Dst]
+		}
+		if procs > 0 {
+			if procFree[0] > start {
+				start = procFree[0]
+			}
+			procFree[0] = start + 1
+			heap.Fix(&procFree, 0)
+		}
+		fin := start + 1
+		cellFree[u.Dst] = fin
+		if fin > res.FinishTime {
+			res.FinishTime = fin
+		}
+		res.Applied++
+		pending[u.Dst]--
+		if pending[u.Dst] == 0 {
+			finalize(u.Dst, fin)
+		}
+	}
+	if res.Applied != len(tr.Updates) {
+		return nil, fmt.Errorf("%w (%d of %d updates ran)", ErrDeadlock, res.Applied, len(tr.Updates))
+	}
+	return res, nil
+}

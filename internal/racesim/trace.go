@@ -1,0 +1,123 @@
+// Package racesim grounds the paper's motivation: it simulates
+// shared-memory programs whose only expensive operation is an associative,
+// commutative update of a memory cell (Section 1 of Das et al., SPAA 2019).
+//
+// It provides the cost model the paper assumes - every update takes one
+// time unit, every cell has a lock and a wait queue, everything else is
+// free - as a discrete-event simulator; the reducer constructions of
+// Figure 2 (recursive binary, in both the naive full-tree and the
+// space-efficient self-parent variants) and the k-way split; extraction of
+// the race DAG D(P) from a trace; and the worked examples of Figures 1-5.
+package racesim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// Update is one atomic read-modify-write: Dst is combined (via an
+// associative, commutative operator) with the final values of Srcs.  Srcs
+// may be empty for updates by constants.
+type Update struct {
+	Dst  int
+	Srcs []int
+}
+
+// Trace is a program reduced to its update operations over NumCells memory
+// cells.  Updates to the same cell may run in any order (the operator is
+// associative and commutative); an update waits until all its source cells
+// are final.
+type Trace struct {
+	NumCells int
+	Updates  []Update
+}
+
+// Validate checks cell indices.
+func (tr *Trace) Validate() error {
+	if tr.NumCells < 0 {
+		return fmt.Errorf("racesim: negative cell count %d", tr.NumCells)
+	}
+	for i, u := range tr.Updates {
+		if u.Dst < 0 || u.Dst >= tr.NumCells {
+			return fmt.Errorf("racesim: update %d writes cell %d of %d", i, u.Dst, tr.NumCells)
+		}
+		for _, s := range u.Srcs {
+			if s < 0 || s >= tr.NumCells {
+				return fmt.Errorf("racesim: update %d reads cell %d of %d", i, s, tr.NumCells)
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateCounts returns, per cell, the number of updates targeting it (the
+// work w_x of Section 1).
+func (tr *Trace) UpdateCounts() []int64 {
+	w := make([]int64, tr.NumCells)
+	for _, u := range tr.Updates {
+		w[u.Dst]++
+	}
+	return w
+}
+
+// RaceInstance extracts the race DAG D(P) as a vertex-job instance: cells
+// become vertices, every (update, source) pair becomes an arc, and each
+// cell's duration function is the chosen reducer class applied to its
+// update count.  A virtual source and sink with zero work tie the DAG to a
+// single entry and exit, matching the paper's convention that all extra
+// space starts at the source.
+//
+// For single-source updates this is exactly the paper's D(P) with
+// w_x = d_in(x).  For multi-source updates (e.g. Parallel-MM reads two
+// cells per update) the work stays the update count while the in-degree
+// counts (update, source) pairs; the trace simulator remains the ground
+// truth for execution time in that case.
+func (tr *Trace) RaceInstance(kind core.ReducerKind) (*core.VertexInstance, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	g := dag.New()
+	for c := 0; c < tr.NumCells; c++ {
+		g.AddNode(fmt.Sprintf("c%d", c))
+	}
+	s := g.AddNode("S")
+	t := g.AddNode("T")
+	counts := tr.UpdateCounts()
+	for _, u := range tr.Updates {
+		if len(u.Srcs) == 0 {
+			g.AddEdge(s, u.Dst)
+			continue
+		}
+		for _, src := range u.Srcs {
+			g.AddEdge(src, u.Dst)
+		}
+	}
+	for c := 0; c < tr.NumCells; c++ {
+		if g.InDegree(c) == 0 {
+			g.AddEdge(s, c)
+		}
+		if g.OutDegree(c) == 0 {
+			g.AddEdge(c, t)
+		}
+	}
+	fns := make([]duration.Func, g.NumNodes())
+	for c := 0; c < tr.NumCells; c++ {
+		w := counts[c]
+		switch kind {
+		case core.NoReducer:
+			fns[c] = duration.Constant(w)
+		case core.BinaryReducer:
+			fns[c] = duration.NewRecursiveBinary(w)
+		case core.KWayReducer:
+			fns[c] = duration.NewKWay(w)
+		default:
+			return nil, fmt.Errorf("racesim: unknown reducer kind %d", kind)
+		}
+	}
+	fns[s] = duration.Constant(0)
+	fns[t] = duration.Constant(0)
+	return core.NewVertexInstance(g, fns)
+}

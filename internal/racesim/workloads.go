@@ -1,0 +1,124 @@
+package racesim
+
+import "fmt"
+
+// SingleCell returns a trace of n updates to one cell from constants: the
+// baseline workload of Figure 2 (left).
+func SingleCell(n int) *Trace {
+	tr := &Trace{NumCells: 1}
+	for i := 0; i < n; i++ {
+		tr.Updates = append(tr.Updates, Update{Dst: 0})
+	}
+	return tr
+}
+
+// MMTrace holds the Parallel-MM trace of Figure 3 together with the cell
+// numbering, so callers can attach reducers to the Z cells.
+type MMTrace struct {
+	*Trace
+	N int
+}
+
+// XCell, YCell and ZCell return cell IDs of the three matrices.
+func (m *MMTrace) XCell(i, k int) int { return i*m.N + k }
+func (m *MMTrace) YCell(k, j int) int { return m.N*m.N + k*m.N + j }
+func (m *MMTrace) ZCell(i, j int) int { return 2*m.N*m.N + i*m.N + j }
+
+// ParallelMM builds the update trace of the Parallel-MM code in Figure 3
+// multiplying two n x n matrices: for all i, j, k the update
+// Z[i][j] += X[i][k] * Y[k][j].  X and Y cells receive no updates (they
+// are inputs), so every Z[i][j] serializes its n updates unless a reducer
+// is attached.
+func ParallelMM(n int) *MMTrace {
+	m := &MMTrace{Trace: &Trace{NumCells: 3 * n * n}, N: n}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				m.Updates = append(m.Updates, Update{
+					Dst:  m.ZCell(i, j),
+					Srcs: []int{m.XCell(i, k), m.YCell(k, j)},
+				})
+			}
+		}
+	}
+	return m
+}
+
+// WithReducersOnZ attaches a binary reducer of height h to every Z cell
+// and returns the combined trace plus the extra space used.  All n^2
+// reducers are attached in one pass (the per-cell WithBinaryReducer would
+// copy the n^3-update trace quadratically often).
+func (m *MMTrace) WithReducersOnZ(h int, variant BinaryVariant) (*Trace, int, error) {
+	if h < 0 {
+		return nil, 0, fmt.Errorf("racesim: negative reducer height %d", h)
+	}
+	if h == 0 {
+		cp := &Trace{NumCells: m.NumCells, Updates: append([]Update(nil), m.Updates...)}
+		return cp, 0, nil
+	}
+	leaves := 1 << uint(h)
+	out := &Trace{NumCells: m.NumCells}
+	nz := m.N * m.N
+	zBase := 2 * m.N * m.N
+	// Allocate each Z cell's leaf block contiguously.
+	leafBase := make([]int, nz)
+	for z := 0; z < nz; z++ {
+		leafBase[z] = out.NumCells
+		switch variant {
+		case SelfParent:
+			out.NumCells += leaves
+		case FullTree:
+			out.NumCells += 2*leaves - 2
+		default:
+			return nil, 0, fmt.Errorf("racesim: unknown binary variant %d", variant)
+		}
+	}
+	dealt := make([]int, nz)
+	for _, u := range m.Updates {
+		z := u.Dst - zBase
+		if z < 0 {
+			out.Updates = append(out.Updates, u)
+			continue
+		}
+		out.Updates = append(out.Updates, Update{Dst: leafBase[z] + dealt[z]%leaves, Srcs: u.Srcs})
+		dealt[z]++
+	}
+	for z := 0; z < nz; z++ {
+		base := leafBase[z]
+		cell := zBase + z
+		switch variant {
+		case SelfParent:
+			for j := 1; j <= h; j++ {
+				stepSize := 1 << uint(j)
+				for i := 0; i+stepSize/2 < leaves; i += stepSize {
+					out.Updates = append(out.Updates, Update{Dst: base + i, Srcs: []int{base + i + stepSize/2}})
+				}
+			}
+			out.Updates = append(out.Updates, Update{Dst: cell, Srcs: []int{base}})
+		case FullTree:
+			// Cells base..base+leaves-1 are the leaves; the internal
+			// levels follow, ending with the two children of the root.
+			level := make([]int, leaves)
+			for i := range level {
+				level[i] = base + i
+			}
+			next := base + leaves
+			for len(level) > 2 {
+				parents := make([]int, len(level)/2)
+				for i := range parents {
+					parents[i] = next
+					next++
+					out.Updates = append(out.Updates, Update{Dst: parents[i], Srcs: []int{level[2*i]}})
+					out.Updates = append(out.Updates, Update{Dst: parents[i], Srcs: []int{level[2*i+1]}})
+				}
+				level = parents
+			}
+			out.Updates = append(out.Updates, Update{Dst: cell, Srcs: []int{level[0]}})
+			if len(level) > 1 {
+				out.Updates = append(out.Updates, Update{Dst: cell, Srcs: []int{level[1]}})
+			}
+		}
+	}
+	extra := out.NumCells - m.NumCells
+	return out, extra, nil
+}

@@ -1,0 +1,88 @@
+package racesim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWithReducersOnZMatchesPerCell cross-validates the batched Z-reducer
+// attachment against the generic per-cell transform: identical cell
+// counts and identical simulated finish times for both variants.
+func TestWithReducersOnZMatchesPerCell(t *testing.T) {
+	for _, variant := range []BinaryVariant{SelfParent, FullTree} {
+		for _, n := range []int{2, 4} {
+			for h := 1; h <= 3; h++ {
+				mm := ParallelMM(n)
+				batched, extra, err := mm.WithReducersOnZ(h, variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perCell := mm.Trace
+				before := perCell.NumCells
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						perCell, err = WithBinaryReducer(perCell, mm.ZCell(i, j), h, variant)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if extra != perCell.NumCells-before {
+					t.Fatalf("variant %d n=%d h=%d: extra %d vs %d",
+						variant, n, h, extra, perCell.NumCells-before)
+				}
+				rb, err := Simulate(batched, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rp, err := Simulate(perCell, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rb.FinishTime != rp.FinishTime {
+					t.Fatalf("variant %d n=%d h=%d: batched %d vs per-cell %d",
+						variant, n, h, rb.FinishTime, rp.FinishTime)
+				}
+			}
+		}
+	}
+}
+
+// TestMMRaceInstanceObservation11 ties the workload to the formal model:
+// the simulated multiply never exceeds the race DAG's makespan.
+func TestMMRaceInstanceObservation11(t *testing.T) {
+	mm := ParallelMM(4)
+	res, err := Simulate(mm.Trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := mm.RaceInstance(core.NoReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := vi.Makespan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishTime > ms {
+		t.Fatalf("simulated %d > makespan %d", res.FinishTime, ms)
+	}
+	if res.FinishTime != 4 {
+		t.Fatalf("simulated %d; want n = 4", res.FinishTime)
+	}
+}
+
+func TestWithReducersOnZValidation(t *testing.T) {
+	mm := ParallelMM(2)
+	if _, _, err := mm.WithReducersOnZ(-1, SelfParent); err == nil {
+		t.Fatal("want error for negative height")
+	}
+	if _, _, err := mm.WithReducersOnZ(1, BinaryVariant(9)); err == nil {
+		t.Fatal("want error for unknown variant")
+	}
+	same, extra, err := mm.WithReducersOnZ(0, SelfParent)
+	if err != nil || extra != 0 || len(same.Updates) != len(mm.Updates) {
+		t.Fatalf("h=0 should copy: %v %d", err, extra)
+	}
+}

@@ -1,0 +1,16 @@
+package reduction
+
+import (
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// minFlowValue routes a minimum flow meeting the lower bounds on an
+// arc-form instance and returns its value.
+func minFlowValue(af *core.ArcForm, lower []int64) (int64, error) {
+	res, err := flow.MinFlow(af.Inst.G, lower, af.Inst.Source, af.Inst.Sink)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}

@@ -1,0 +1,284 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// N3DM is a numerical 3-dimensional matching instance: partition
+// A u B u C into n triples (a_i, b_j, c_k) each summing to
+// T = (sum A + sum B + sum C) / n.
+type N3DM struct {
+	A, B, C []int64
+}
+
+// Validate checks shape and divisibility.
+func (p N3DM) Validate() error {
+	n := len(p.A)
+	if n == 0 || len(p.B) != n || len(p.C) != n {
+		return fmt.Errorf("reduction: 3DM needs three equal-size lists, got %d/%d/%d",
+			len(p.A), len(p.B), len(p.C))
+	}
+	if p.Total()%int64(n) != 0 {
+		return fmt.Errorf("reduction: total %d not divisible by n=%d", p.Total(), n)
+	}
+	return nil
+}
+
+// Total returns sum(A) + sum(B) + sum(C).
+func (p N3DM) Total() int64 {
+	var t int64
+	for _, v := range p.A {
+		t += v
+	}
+	for _, v := range p.B {
+		t += v
+	}
+	for _, v := range p.C {
+		t += v
+	}
+	return t
+}
+
+// TripleTarget returns the per-triple sum T.
+func (p N3DM) TripleTarget() int64 { return p.Total() / int64(len(p.A)) }
+
+// Solve brute-forces the matching: it returns permutations sigma, rho with
+// a_i + b_sigma(i) + c_rho(i) = T for all i, or ok = false.
+func (p N3DM) Solve() (sigma, rho []int, ok bool) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, false
+	}
+	n := len(p.A)
+	target := p.TripleTarget()
+	sigma = make([]int, n)
+	rho = make([]int, n)
+	usedB := make([]bool, n)
+	usedC := make([]bool, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for j := 0; j < n; j++ {
+			if usedB[j] {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if usedC[k] || p.A[i]+p.B[j]+p.C[k] != target {
+					continue
+				}
+				usedB[j], usedC[k] = true, true
+				sigma[i], rho[i] = j, k
+				if rec(i + 1) {
+					return true
+				}
+				usedB[j], usedC[k] = false, false
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, nil, false
+	}
+	return sigma, rho, true
+}
+
+// matcher records the edge IDs of one bipartite matcher gadget
+// (Figure 17) between n input nodes and n output nodes.
+type matcher struct {
+	yij  [][]int // y^j_i node for row i, column j
+	yRow []int   // y_i
+	zCol []int   // z'_j
+	// Edges.
+	inY    [][]int // (x_i, y^j_i)
+	yToRow [][]int // (y^j_i, y_i)
+	yToCol [][]int // (y^j_i, z'_j)
+	rowOut []int   // (y_i, out_i)
+	colOut []int   // (z'_j, out_j)
+}
+
+// N3DMInstance is the Appendix A reduction (Figure 18): makespan
+// 2M + T is reachable with budget n^2 iff the 3DM instance is solvable.
+type N3DMInstance struct {
+	Problem N3DM
+	Inst    *core.Instance
+	Budget  int64 // n^2
+	Target  int64 // 2M + T
+	M       int64
+
+	aArc, bArc, cArc []int
+	m1, m2           *matcher
+}
+
+// BuildN3DM constructs the reduction; n must be at least 2 (the matcher
+// needs n-1 > 0 units on its column arcs).
+func BuildN3DM(p N3DM) (*N3DMInstance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.A)
+	if n < 2 {
+		return nil, fmt.Errorf("reduction: 3DM reduction needs n >= 2, got %d", n)
+	}
+	var maxA, maxB, maxC int64
+	for i := 0; i < n; i++ {
+		maxA = max64(maxA, p.A[i])
+		maxB = max64(maxB, p.B[i])
+		maxC = max64(maxC, p.C[i])
+	}
+	bigM := maxA + maxB + maxC + 1
+
+	g := dag.New()
+	var fns []duration.Func
+	addEdge := func(u, v int, fn duration.Func) int {
+		id := g.AddEdge(u, v)
+		fns = append(fns, fn)
+		return id
+	}
+	// Every forced arc takes M unresourced; M exceeds any a+b+c, so a
+	// path is within the target exactly when it crosses at most the two
+	// intended withheld matcher arcs (see Lemma A.1).
+	need := func(r, t int64) duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: bigM}, duration.Tuple{R: r, T: t})
+	}
+
+	s := g.AddNode("s")
+	t := g.AddNode("t")
+	r := &N3DMInstance{
+		Problem: p,
+		Budget:  int64(n * n),
+		Target:  2*bigM + p.TripleTarget(),
+		M:       bigM,
+	}
+
+	// a-layer: (s, a_i) carries n units and takes a_i time.
+	aNodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		aNodes[i] = g.AddNode(fmt.Sprintf("a%d", i))
+		r.aArc = append(r.aArc, addEdge(s, aNodes[i], need(int64(n), p.A[i])))
+	}
+
+	buildMatcher := func(in []int, label string) (*matcher, []int) {
+		m := &matcher{}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			out[i] = g.AddNode(fmt.Sprintf("%s_z%d", label, i))
+		}
+		m.yij = make([][]int, n)
+		m.inY = make([][]int, n)
+		m.yToRow = make([][]int, n)
+		m.yToCol = make([][]int, n)
+		for i := 0; i < n; i++ {
+			m.yij[i] = make([]int, n)
+			m.inY[i] = make([]int, n)
+			m.yToRow[i] = make([]int, n)
+			m.yToCol[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				m.yij[i][j] = g.AddNode(fmt.Sprintf("%s_y%d_%d", label, i, j))
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.yRow = append(m.yRow, g.AddNode(fmt.Sprintf("%s_yr%d", label, i)))
+		}
+		for j := 0; j < n; j++ {
+			m.zCol = append(m.zCol, g.AddNode(fmt.Sprintf("%s_zc%d", label, j)))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.inY[i][j] = addEdge(in[i], m.yij[i][j], need(1, 0))
+				m.yToRow[i][j] = addEdge(m.yij[i][j], m.yRow[i], duration.Constant(0))
+				m.yToCol[i][j] = addEdge(m.yij[i][j], m.zCol[j], need(1, 0))
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.rowOut = append(m.rowOut, addEdge(m.yRow[i], out[i], need(1, 0)))
+		}
+		for j := 0; j < n; j++ {
+			m.colOut = append(m.colOut, addEdge(m.zCol[j], out[j], need(int64(n-1), 0)))
+		}
+		return m, out
+	}
+
+	var bIn []int
+	r.m1, bIn = buildMatcher(aNodes, "m1")
+	// b-layer: (b_j, b'_j) carries n units and takes b_j time.
+	bNodes := make([]int, n)
+	for j := 0; j < n; j++ {
+		bNodes[j] = g.AddNode(fmt.Sprintf("b%d", j))
+		r.bArc = append(r.bArc, addEdge(bIn[j], bNodes[j], need(int64(n), p.B[j])))
+	}
+	var cIn []int
+	r.m2, cIn = buildMatcher(bNodes, "m2")
+	// c-layer: (c_k, t) carries n units and takes c_k time.
+	for k := 0; k < n; k++ {
+		r.cArc = append(r.cArc, addEdge(cIn[k], t, need(int64(n), p.C[k])))
+	}
+
+	inst, err := core.NewInstance(g, fns)
+	if err != nil {
+		return nil, err
+	}
+	r.Inst = inst
+	return r, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// routeMatcher adds the flow realizing a given permutation through a
+// matcher: row i withholds column perm[i] (sending that unit to its row
+// collector) and feeds every other column.
+func (m *matcher) routeMatcher(f []int64, perm []int) {
+	n := len(perm)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f[m.inY[i][j]]++
+			if j == perm[i] {
+				f[m.yToRow[i][j]]++
+			} else {
+				f[m.yToCol[i][j]]++
+			}
+		}
+		f[m.rowOut[i]]++
+	}
+	for j := 0; j < n; j++ {
+		f[m.colOut[j]] += int64(n - 1)
+	}
+}
+
+// WitnessFlow realizes the matching (sigma, rho) as a flow of value n^2
+// achieving the target makespan.
+func (r *N3DMInstance) WitnessFlow(sigma, rho []int) ([]int64, error) {
+	n := len(r.Problem.A)
+	if len(sigma) != n || len(rho) != n {
+		return nil, fmt.Errorf("reduction: permutation sizes %d/%d for n=%d", len(sigma), len(rho), n)
+	}
+	f := make([]int64, r.Inst.G.NumEdges())
+	for i := 0; i < n; i++ {
+		f[r.aArc[i]] += int64(n)
+	}
+	r.m1.routeMatcher(f, sigma)
+	for j := 0; j < n; j++ {
+		f[r.bArc[j]] += int64(n)
+	}
+	// The second matcher's row i is b-column i; it must withhold the
+	// column rho(sigma^{-1}(...)): b_j pairs with c_k when sigma(i) = j
+	// and rho(i) = k, i.e. perm2[j] = rho(sigma^{-1}(j)).
+	perm2 := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm2[sigma[i]] = rho[i]
+	}
+	r.m2.routeMatcher(f, perm2)
+	for k := 0; k < n; k++ {
+		f[r.cArc[k]] += int64(n)
+	}
+	return f, nil
+}

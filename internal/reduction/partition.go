@@ -1,0 +1,220 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// PartitionInstance is the Section 4.3 construction (Figure 15): given
+// items s_1..s_n with total B, a bounded-treewidth instance whose exact
+// minimum makespan under budget B equals the best balanced-partition value
+// min over subsets S of max(sum(S), B - sum(S)); in particular makespan
+// B/2 is reachable iff the items admit a perfect partition, giving weak
+// NP-hardness on graphs of constant treewidth.
+//
+// Layout per item i: an M-arc (s, f_i) = {<0,M>,<s_i,0>} pins s_i units to
+// the item; they cross either the top rail's segment or the bottom rail's
+// segment - zeroing it - and are then funneled to v0 by another M-arc
+// (h_i, v0) = {<0,M>,<s_i,0>}, which stops them from helping any later
+// item (Figure 15's v0).  Whichever rail segment keeps its duration s_i
+// charges that item to its side of the partition; the makespan is the
+// longer rail.
+type PartitionInstance struct {
+	Items  []int64
+	Inst   *core.Instance
+	Budget int64 // sum of items
+	Target int64 // Budget / 2 (only meaningful when Budget is even)
+
+	source, v0, sink int
+	feed             []int // (s, f_i)
+	topIn, topArc    []int // (f_i, xT_i), (xT_i, yT_i)
+	botIn, botArc    []int
+	topOut, botOut   []int // (yT_i, h_i), (yB_i, h_i)
+	funnel           []int // (h_i, v0)
+	railTopNodes     []int // yT_0 .. yT_n (rail anchors)
+	railBotNodes     []int
+	itemNodes        [][6]int // f, xT, yT, xB, yB, h
+}
+
+// BuildPartition constructs the Section 4.3 instance.
+func BuildPartition(items []int64) (*PartitionInstance, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("reduction: partition needs items")
+	}
+	var total int64
+	for i, s := range items {
+		if s <= 0 {
+			return nil, fmt.Errorf("reduction: item %d is %d; want positive", i, s)
+		}
+		total += s
+	}
+	bigM := total + 1
+
+	g := dag.New()
+	var fns []duration.Func
+	addEdge := func(u, v int, fn duration.Func) int {
+		id := g.AddEdge(u, v)
+		fns = append(fns, fn)
+		return id
+	}
+	zero := duration.Constant(0)
+	mArc := func(need int64) duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: bigM}, duration.Tuple{R: need, T: 0})
+	}
+	railArc := func(s int64) duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: s}, duration.Tuple{R: s, T: 0})
+	}
+
+	s := g.AddNode("s")
+	t := g.AddNode("t")
+	v0 := g.AddNode("v0")
+	p := &PartitionInstance{
+		Items:  append([]int64(nil), items...),
+		Budget: total,
+		Target: total / 2,
+		source: s,
+		v0:     v0,
+		sink:   t,
+	}
+
+	prevTop := g.AddNode("T0")
+	prevBot := g.AddNode("B0")
+	p.railTopNodes = append(p.railTopNodes, prevTop)
+	p.railBotNodes = append(p.railBotNodes, prevBot)
+	addEdge(s, prevTop, zero)
+	addEdge(s, prevBot, zero)
+
+	for i, si := range items {
+		f := g.AddNode(fmt.Sprintf("f%d", i))
+		xT := g.AddNode(fmt.Sprintf("xT%d", i))
+		yT := g.AddNode(fmt.Sprintf("yT%d", i))
+		xB := g.AddNode(fmt.Sprintf("xB%d", i))
+		yB := g.AddNode(fmt.Sprintf("yB%d", i))
+		h := g.AddNode(fmt.Sprintf("h%d", i))
+		p.itemNodes = append(p.itemNodes, [6]int{f, xT, yT, xB, yB, h})
+
+		p.feed = append(p.feed, addEdge(s, f, mArc(si)))
+		addEdge(prevTop, xT, zero)
+		addEdge(prevBot, xB, zero)
+		p.topIn = append(p.topIn, addEdge(f, xT, zero))
+		p.botIn = append(p.botIn, addEdge(f, xB, zero))
+		p.topArc = append(p.topArc, addEdge(xT, yT, railArc(si)))
+		p.botArc = append(p.botArc, addEdge(xB, yB, railArc(si)))
+		p.topOut = append(p.topOut, addEdge(yT, h, zero))
+		p.botOut = append(p.botOut, addEdge(yB, h, zero))
+		p.funnel = append(p.funnel, addEdge(h, v0, mArc(si)))
+
+		prevTop, prevBot = yT, yB
+		p.railTopNodes = append(p.railTopNodes, yT)
+		p.railBotNodes = append(p.railBotNodes, yB)
+	}
+	addEdge(prevTop, t, zero)
+	addEdge(prevBot, t, zero)
+	addEdge(v0, t, zero)
+
+	inst, err := core.NewInstance(g, fns)
+	if err != nil {
+		return nil, err
+	}
+	p.Inst = inst
+	return p, nil
+}
+
+// WitnessFlow routes each item's units across the rail chosen by inTop and
+// returns the resulting flow (value exactly Budget).
+func (p *PartitionInstance) WitnessFlow(inTop []bool) ([]int64, error) {
+	if len(inTop) != len(p.Items) {
+		return nil, fmt.Errorf("reduction: %d choices for %d items", len(inTop), len(p.Items))
+	}
+	f := make([]int64, p.Inst.G.NumEdges())
+	for i, si := range p.Items {
+		f[p.feed[i]] += si
+		if inTop[i] {
+			f[p.topIn[i]] += si
+			f[p.topArc[i]] += si
+			f[p.topOut[i]] += si
+		} else {
+			f[p.botIn[i]] += si
+			f[p.botArc[i]] += si
+			f[p.botOut[i]] += si
+		}
+		f[p.funnel[i]] += si
+	}
+	// v0 -> t carries everything out.
+	out := p.Inst.G.Out(p.v0)
+	f[out[0]] = p.Budget
+	return f, nil
+}
+
+// Note the rail arc zeroed by an item is the one its units cross, so the
+// item charges s_i to the *other* rail: choosing inTop[i] = true in
+// WitnessFlow puts item i's duration on the bottom rail.  BestBalance
+// below is orientation-agnostic (max of the two sides).
+
+// BestBalance brute-forces the optimal balanced partition value
+// min over subsets of max(sum, total-sum).
+func BestBalance(items []int64) int64 {
+	var total int64
+	for _, s := range items {
+		total += s
+	}
+	best := total
+	for mask := 0; mask < 1<<uint(len(items)); mask++ {
+		var sum int64
+		for i := range items {
+			if mask&(1<<uint(i)) != 0 {
+				sum += items[i]
+			}
+		}
+		m := sum
+		if total-sum > m {
+			m = total - sum
+		}
+		if m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+// HasPerfectPartition reports whether the items split into two halves of
+// equal sum.
+func HasPerfectPartition(items []int64) bool {
+	var total int64
+	for _, s := range items {
+		total += s
+	}
+	return total%2 == 0 && BestBalance(items) == total/2
+}
+
+// Decomposition returns the explicit bounded-width tree decomposition of
+// the construction (Figure 16): a path of bags, one per item, each
+// holding the item's six vertices, the rail anchors on both sides, and
+// the three global vertices s, v0, t.  Width is 12, independent of n -
+// within the paper's bound of 15.
+func (p *PartitionInstance) Decomposition() *TreeDecomposition {
+	td := &TreeDecomposition{}
+	for i := range p.Items {
+		seen := make(map[int]bool)
+		var bag []int
+		add := func(vs ...int) {
+			for _, v := range vs {
+				if !seen[v] {
+					seen[v] = true
+					bag = append(bag, v)
+				}
+			}
+		}
+		add(p.source, p.v0, p.sink,
+			p.railTopNodes[i], p.railBotNodes[i],
+			p.railTopNodes[i+1], p.railBotNodes[i+1])
+		add(p.itemNodes[i][0], p.itemNodes[i][1], p.itemNodes[i][2],
+			p.itemNodes[i][3], p.itemNodes[i][4], p.itemNodes[i][5])
+		td.Bags = append(td.Bags, bag)
+		td.Parent = append(td.Parent, i-1)
+	}
+	return td
+}

@@ -1,0 +1,227 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// ResourceGap is the chained construction behind Theorem 4.4 (Figures
+// 10-11): an instance and makespan target such that
+//
+//	minimum resource = 2  if the formula is satisfiable,
+//	minimum resource = 3  otherwise,
+//
+// so approximating the minimum-resource problem within any factor below
+// 3/2 would decide satisfiability.
+//
+// The paper sketches the construction from 1-in-3SAT with carefully tuned
+// buffer durations; this realization chains the same ingredients - a
+// variable-gadget path traversed by one pinned unit, a second unit pinned
+// to a direct source arc, and per-clause checker chains with
+// timing-compensated cross arcs - but checks clauses for "at least one
+// true literal", i.e. it reduces from plain 3SAT (also strongly NP-hard),
+// which makes every timing constant explicit and lets the exact solver
+// verify the 2-versus-3 gap end to end.
+//
+// Wiring (all times derived in the comments of BuildResourceGap):
+//
+//   - variable spine: s -> A_1, and A_i -> {T_i | F_i} -> A_{i+1} with
+//     branch arcs {<0,2>,<1,0>}; the single spine unit's branch choice is
+//     the truth assignment; the chosen literal vertex finishes at 2(i-1),
+//     the other at 2i;
+//   - pins: (A_{n+1}, U_1) = {<0,M>,<1,1>} forces one unit through the
+//     whole spine; (s, U_1) = {<0,M>,<1,2n+1>} pins the second unit; both
+//     make U_1 happen at time 2n+1;
+//   - clause chain: U_j fans out to three checker vertices P_{j,c} (free
+//     conduits), each exits via {<0,1>,<1,0>} into U_{j+1}; literal c of
+//     clause j adds a cross arc from its literal vertex to P_{j,c} with
+//     constant duration 2n+j+1-2i, so a true literal imposes start
+//     <= theta_j = 2n+j and a false one theta_j + 1;
+//   - with two units, each clause covers two checker chains; the clause
+//     passes within theta_j + 1 iff the uncovered checker's literal is
+//     true, so the target 2n+m+1 is reachable iff some assignment
+//     satisfies every clause; a third unit covers all three checkers and
+//     always reaches the target.
+type ResourceGap struct {
+	Formula Formula
+	Inst    *core.Instance
+	Target  int64 // 2n + m + 1
+
+	spineA   []int // A_1..A_{n+1}
+	litT     []int // T_i
+	litF     []int // F_i
+	chainU   []int // U_1..U_{m+1}
+	checkers [][3]int
+
+	sA1         int
+	branchTo    []int // edge A_i -> T_i
+	branchFrom  []int // edge T_i -> A_{i+1}
+	branchToF   []int
+	branchFromF []int
+	pinSpine    int
+	pinDirect   int
+	conduits    [][3]int
+	exits       [][3]int
+	uT          int
+}
+
+// BuildResourceGap constructs the Theorem 4.4-style instance for f.
+func BuildResourceGap(f Formula) (*ResourceGap, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("reduction: resource gap needs at least one clause")
+	}
+	n, m := f.NumVars, len(f.Clauses)
+	target := int64(2*n + m + 1)
+	bigM := target + 10
+
+	g := dag.New()
+	var fns []duration.Func
+	addEdge := func(u, v int, fn duration.Func) int {
+		id := g.AddEdge(u, v)
+		fns = append(fns, fn)
+		return id
+	}
+	zero := duration.Constant(0)
+	branch := func() duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: 2}, duration.Tuple{R: 1, T: 0})
+	}
+	exit := func() duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: 1}, duration.Tuple{R: 1, T: 0})
+	}
+
+	s := g.AddNode("s")
+	t := g.AddNode("t")
+	r := &ResourceGap{Formula: f, Target: target}
+
+	for i := 0; i <= n; i++ {
+		r.spineA = append(r.spineA, g.AddNode(fmt.Sprintf("A%d", i+1)))
+	}
+	r.sA1 = addEdge(s, r.spineA[0], zero)
+	for i := 0; i < n; i++ {
+		ti := g.AddNode(fmt.Sprintf("T%d", i))
+		fi := g.AddNode(fmt.Sprintf("F%d", i))
+		r.litT = append(r.litT, ti)
+		r.litF = append(r.litF, fi)
+		r.branchTo = append(r.branchTo, addEdge(r.spineA[i], ti, branch()))
+		r.branchToF = append(r.branchToF, addEdge(r.spineA[i], fi, branch()))
+		r.branchFrom = append(r.branchFrom, addEdge(ti, r.spineA[i+1], zero))
+		r.branchFromF = append(r.branchFromF, addEdge(fi, r.spineA[i+1], zero))
+	}
+
+	for j := 0; j <= m; j++ {
+		r.chainU = append(r.chainU, g.AddNode(fmt.Sprintf("U%d", j+1)))
+	}
+	r.pinSpine = addEdge(r.spineA[n], r.chainU[0], duration.MustStep(
+		duration.Tuple{R: 0, T: bigM}, duration.Tuple{R: 1, T: 1}))
+	r.pinDirect = addEdge(s, r.chainU[0], duration.MustStep(
+		duration.Tuple{R: 0, T: bigM}, duration.Tuple{R: 1, T: int64(2*n + 1)}))
+
+	for j, c := range f.Clauses {
+		var checkers [3]int
+		var conduits, exits [3]int
+		for p := 0; p < 3; p++ {
+			checkers[p] = g.AddNode(fmt.Sprintf("P%d_%d", j, p))
+			conduits[p] = addEdge(r.chainU[j], checkers[p], zero)
+			exits[p] = addEdge(checkers[p], r.chainU[j+1], exit())
+			// Cross arc from the literal vertex: the vertex that finishes
+			// early (at 2i) exactly when the literal is true.
+			lit := c[p]
+			var litNode int
+			if lit.Neg {
+				litNode = r.litF[lit.Var]
+			} else {
+				litNode = r.litT[lit.Var]
+			}
+			// theta_j = 2n+1+j; a true literal (vertex time 2i) must
+			// impose theta_j - 1 and a false one (2i+2) theta_j + 1.
+			cross := int64(2*n+j) - int64(2*lit.Var)
+			addEdge(litNode, checkers[p], duration.Constant(cross))
+		}
+		r.checkers = append(r.checkers, checkers)
+		r.conduits = append(r.conduits, conduits)
+		r.exits = append(r.exits, exits)
+	}
+	r.uT = addEdge(r.chainU[m], t, zero)
+
+	inst, err := core.NewInstance(g, fns)
+	if err != nil {
+		return nil, err
+	}
+	r.Inst = inst
+	return r, nil
+}
+
+// WitnessFlow assembles the intended two-unit flow for a satisfying
+// assignment: the spine unit walks the chosen branches and then, together
+// with the directly pinned unit, covers the two checker chains of each
+// clause whose literal is not relied upon.
+func (r *ResourceGap) WitnessFlow(assign []bool) ([]int64, error) {
+	n := r.Formula.NumVars
+	if len(assign) != n {
+		return nil, fmt.Errorf("reduction: %d assignments for %d variables", len(assign), n)
+	}
+	f := make([]int64, r.Inst.G.NumEdges())
+	f[r.sA1]++
+	for i := 0; i < n; i++ {
+		if assign[i] {
+			f[r.branchTo[i]]++
+			f[r.branchFrom[i]]++
+		} else {
+			f[r.branchToF[i]]++
+			f[r.branchFromF[i]]++
+		}
+	}
+	f[r.pinSpine]++
+	f[r.pinDirect]++
+	for j, c := range r.Formula.Clauses {
+		uncovered := -1
+		for p := 0; p < 3; p++ {
+			if c[p].Eval(assign) {
+				uncovered = p
+				break
+			}
+		}
+		if uncovered < 0 {
+			return nil, fmt.Errorf("reduction: clause %d unsatisfied", j)
+		}
+		placed := 0
+		for p := 0; p < 3 && placed < 2; p++ {
+			if p == uncovered {
+				continue
+			}
+			f[r.conduits[j][p]]++
+			f[r.exits[j][p]]++
+			placed++
+		}
+	}
+	f[r.uT] += 2
+	return f, nil
+}
+
+// ThreeUnitFlow returns the three-unit flow that meets the target for any
+// formula: all three checker chains of every clause are covered.
+func (r *ResourceGap) ThreeUnitFlow() []int64 {
+	n := r.Formula.NumVars
+	f := make([]int64, r.Inst.G.NumEdges())
+	f[r.sA1]++
+	for i := 0; i < n; i++ {
+		f[r.branchTo[i]]++
+		f[r.branchFrom[i]]++
+	}
+	f[r.pinSpine]++
+	f[r.pinDirect] += 2
+	for j := range r.Formula.Clauses {
+		for p := 0; p < 3; p++ {
+			f[r.conduits[j][p]]++
+			f[r.exits[j][p]]++
+		}
+	}
+	f[r.uT] += 3
+	return f
+}

@@ -1,0 +1,384 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/racesim"
+)
+
+// This file implements Section 4.2: strong NP-hardness when duration
+// functions are restricted to recursive binary or k-way splitting.  The
+// gadgets live in the fine-grained machine model of Section 1 (unit-time
+// serialized updates), so they are built as racesim traces and analyzed
+// with the discrete-event simulator; works are in-degrees and "earliest
+// finish times" are the quantities Table 3 tabulates.
+//
+// Composite node (Figure 12): order k takes k+2 time without resources
+// and k/2+4 with 2 units (either reducer class).  Variable gadget
+// (Figure 13): the chosen branch's composite plus the shared order-8x
+// composite consume the gadget's 2 units, making the chosen literal
+// vertex finish at 5x+5 and the other at 6x+3.  Clause gadget
+// (Figure 14): order-8x composites C2, C3 feed C4; pattern vertices
+// C5/C6/C7 receive three literal writes each; their order-2x composites
+// need 2 units each unless the pattern vertex started early, which happens
+// for exactly one of them iff the clause has exactly one true literal.
+// Chains of length 7x+11 from the source mask the finish times at
+// C11/C12/C13 to exactly 7x+12, and a height-y binary reducer at the sink
+// collects all gadget outputs.
+//
+// One bookkeeping note: the paper states the overall target as
+// 7x + 2y + 12, accounting the sink reducer's collection phase at a flat
+// 2y; under the exact DES semantics the height-y full-tree reducer's
+// finish depends on how its leaves pipeline the staggered arrivals
+// (variable outputs land at 7x+11, clause outputs at 7x+12), so the
+// target here is *calibrated*: BuildSec42 simulates a reference sink
+// whose writers arrive at exactly those ideal times and uses its finish
+// time (7x + 2y + 12 plus or minus a unit) as Target.  All interior
+// quantities (Table 3, the 5x+5/6x+3 literal times, the 4x+7 and
+// 7x+9/7x+10/7x+12 clause times) match the paper exactly.
+type Sec42 struct {
+	Formula Formula
+	X, Y    int64
+	Budget  int64 // 2n + 4m units, reused over paths
+	Target  int64 // 7x + 13 + 2y (see note above)
+
+	Trace *racesim.Trace // base trace, sink reducer not yet applied
+	Vars  []Sec42Var
+	Cls   []Sec42Clause
+	Sink  int
+	// source cell (never updated, final at 0)
+	Source int
+}
+
+// Sec42Var records the cells of one variable gadget.
+type Sec42Var struct {
+	V1     int
+	V2Sink int // order-2x composite on the TRUE branch
+	V3Sink int // order-2x composite on the FALSE branch
+	V5     int // end of the TRUE branch chain (writes literal V into clauses)
+	V6     int // end of the FALSE branch chain (writes literal not-V)
+	G      int
+	V4Sink int // order-8x composite shared by both branches
+	V7     int
+}
+
+// Sec42Clause records the cells of one clause gadget.
+type Sec42Clause struct {
+	C1             int
+	C2Sink, C3Sink int // order-8x composites
+	C4             int
+	C5, C6, C7     int // pattern vertices
+	C8Sink         int // order-2x composite after C5
+	C9Sink         int // after C6
+	C10Sink        int // after C7
+	C11, C12, C13  int
+}
+
+// addCell appends a cell to the trace.
+func addCell(tr *racesim.Trace) int {
+	id := tr.NumCells
+	tr.NumCells++
+	return id
+}
+
+// addUpdate appends an update dst <- src.
+func addUpdate(tr *racesim.Trace, dst, src int) {
+	tr.Updates = append(tr.Updates, racesim.Update{Dst: dst, Srcs: []int{src}})
+}
+
+// addComposite builds an order-k composite node fed by one update from
+// `from` and returns its sink cell (v_{k+2} in Figure 12).
+func addComposite(tr *racesim.Trace, from int, k int64) int {
+	v1 := addCell(tr)
+	addUpdate(tr, v1, from)
+	sink := addCell(tr)
+	for i := int64(0); i < k; i++ {
+		mid := addCell(tr)
+		addUpdate(tr, mid, v1)
+		addUpdate(tr, sink, mid)
+	}
+	return sink
+}
+
+// addChain builds a chain of length cells, each updated once by its
+// predecessor, starting from `from`; it returns the last cell.
+func addChain(tr *racesim.Trace, from int, length int64) int {
+	cur := from
+	for i := int64(0); i < length; i++ {
+		next := addCell(tr)
+		addUpdate(tr, next, cur)
+		cur = next
+	}
+	return cur
+}
+
+// nextPow2Log returns the smallest y with 2^y >= w (y >= 1).
+func nextPow2Log(w int64) int64 {
+	y := int64(1)
+	for (int64(1) << uint(y)) < w {
+		y++
+	}
+	return y
+}
+
+// calibrateTarget simulates the reference sink collector: n variable
+// outputs made final at exactly 7x+11, then 3m clause outputs at 7x+12,
+// writing into the sink in construction order through the height-y
+// full-tree reducer.  The finish time is the makespan every fully
+// resourced, clause-passing routing attains.
+func calibrateTarget(n, m, x, y int64) (int64, error) {
+	tr := &racesim.Trace{}
+	s := addCell(tr)
+	sink := addCell(tr)
+	var writers []int
+	for i := int64(0); i < n; i++ {
+		writers = append(writers, addChain(tr, s, 7*x+11)) // final at 7x+11
+	}
+	for j := int64(0); j < 3*m; j++ {
+		writers = append(writers, addChain(tr, s, 7*x+12))
+	}
+	for _, w := range writers {
+		addUpdate(tr, sink, w)
+	}
+	// The variable chains above are length 7x+11, finishing at 7x+11;
+	// clause chains 7x+12.
+	rt, err := racesim.WithBinaryReducer(tr, sink, int(y), racesim.FullTree)
+	if err != nil {
+		return 0, err
+	}
+	res, err := racesim.Simulate(rt, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.FinishTime, nil
+}
+
+// BuildSec42 constructs the Section 4.2 reduction for formula f.
+func BuildSec42(f Formula) (*Sec42, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("reduction: section 4.2 needs at least one clause")
+	}
+	n, m := int64(f.NumVars), int64(len(f.Clauses))
+	y := nextPow2Log(n + 3*m)
+	x := 2*y + 13
+	if x < 8 {
+		x = 8
+	}
+
+	target, err := calibrateTarget(n, m, x, y)
+	if err != nil {
+		return nil, err
+	}
+	tr := &racesim.Trace{}
+	s := addCell(tr) // source cell: no updates, final at 0
+	c := &Sec42{
+		Formula: f,
+		X:       x,
+		Y:       y,
+		Budget:  2*n + 4*m,
+		Target:  target,
+		Trace:   tr,
+		Source:  s,
+	}
+
+	for i := int64(0); i < n; i++ {
+		var vg Sec42Var
+		vg.V1 = addCell(tr)
+		addUpdate(tr, vg.V1, s)
+		vg.V2Sink = addComposite(tr, vg.V1, 2*x)
+		vg.V3Sink = addComposite(tr, vg.V1, 2*x)
+		// First chain cells double as the G feeders.
+		cT := addCell(tr)
+		addUpdate(tr, cT, vg.V2Sink)
+		cF := addCell(tr)
+		addUpdate(tr, cF, vg.V3Sink)
+		vg.V5 = addChain(tr, cT, 4*x-1)
+		vg.V6 = addChain(tr, cF, 4*x-1)
+		vg.G = addCell(tr)
+		addUpdate(tr, vg.G, cT)
+		addUpdate(tr, vg.G, cF)
+		vg.V4Sink = addComposite(tr, vg.G, 8*x)
+		vg.V7 = addChain(tr, vg.V4Sink, x+2)
+		c.Vars = append(c.Vars, vg)
+	}
+
+	for _, cl := range f.Clauses {
+		var cg Sec42Clause
+		cg.C1 = addCell(tr)
+		addUpdate(tr, cg.C1, s)
+		cg.C2Sink = addComposite(tr, cg.C1, 8*x)
+		cg.C3Sink = addComposite(tr, cg.C1, 8*x)
+		cg.C4 = addCell(tr)
+		addUpdate(tr, cg.C4, cg.C2Sink)
+		addUpdate(tr, cg.C4, cg.C3Sink)
+
+		// Pattern vertices: C5 checks (F,F,T), C6 (F,T,F), C7 (T,F,F).
+		patterns := [3][3]bool{
+			{false, false, true},
+			{false, true, false},
+			{true, false, false},
+		}
+		pat := make([]int, 3)
+		for p := 0; p < 3; p++ {
+			pv := addCell(tr)
+			pat[p] = pv
+			addUpdate(tr, pv, cg.C4)
+			for pos, want := range patterns[p] {
+				lit := cl[pos]
+				vg := c.Vars[lit.Var]
+				// The literal vertex that finishes early (5x+5) exactly
+				// when literal position pos evaluates to `want`.
+				var writer int
+				if lit.Neg != want {
+					writer = vg.V5 // early iff the variable is TRUE
+				} else {
+					writer = vg.V6 // early iff the variable is FALSE
+				}
+				addUpdate(tr, pv, writer)
+			}
+		}
+		cg.C5, cg.C6, cg.C7 = pat[0], pat[1], pat[2]
+		cg.C8Sink = addComposite(tr, cg.C5, 2*x)
+		cg.C9Sink = addComposite(tr, cg.C6, 2*x)
+		cg.C10Sink = addComposite(tr, cg.C7, 2*x)
+
+		for p, comp := range []int{cg.C8Sink, cg.C9Sink, cg.C10Sink} {
+			mask := addCell(tr)
+			chainEnd := addChain(tr, s, 7*x+11)
+			addUpdate(tr, mask, comp)
+			addUpdate(tr, mask, chainEnd)
+			switch p {
+			case 0:
+				cg.C11 = mask
+			case 1:
+				cg.C12 = mask
+			case 2:
+				cg.C13 = mask
+			}
+		}
+		c.Cls = append(c.Cls, cg)
+	}
+
+	// Sink: every gadget output writes t once; a height-y full-tree
+	// reducer is part of the construction.
+	c.Sink = addCell(tr)
+	for _, vg := range c.Vars {
+		addUpdate(tr, c.Sink, vg.V7)
+	}
+	for _, cg := range c.Cls {
+		addUpdate(tr, c.Sink, cg.C11)
+		addUpdate(tr, c.Sink, cg.C12)
+		addUpdate(tr, c.Sink, cg.C13)
+	}
+	return c, nil
+}
+
+// RoutedTrace returns the trace with 2-unit k-way reducers placed per the
+// assignment: on each variable's chosen-branch composite and its shared
+// composite, on every clause's C2/C3 composites, and on the two pattern
+// composites not left uncovered (uncovered[j] in {0,1,2} picks the one
+// that receives no resource).  The sink reducer is always applied.
+func (c *Sec42) RoutedTrace(assign []bool, uncovered []int) (*racesim.Trace, error) {
+	if len(assign) != c.Formula.NumVars {
+		return nil, fmt.Errorf("reduction: %d assignments for %d variables", len(assign), c.Formula.NumVars)
+	}
+	if len(uncovered) != len(c.Cls) {
+		return nil, fmt.Errorf("reduction: %d cover choices for %d clauses", len(uncovered), len(c.Cls))
+	}
+	tr := c.Trace
+	var err error
+	split := func(cell int) {
+		if err != nil {
+			return
+		}
+		tr, err = racesim.WithKWaySplit(tr, cell, 2)
+	}
+	for i, vg := range c.Vars {
+		if assign[i] {
+			split(vg.V2Sink)
+		} else {
+			split(vg.V3Sink)
+		}
+		split(vg.V4Sink)
+	}
+	for j, cg := range c.Cls {
+		split(cg.C2Sink)
+		split(cg.C3Sink)
+		comps := []int{cg.C8Sink, cg.C9Sink, cg.C10Sink}
+		if uncovered[j] < 0 || uncovered[j] > 2 {
+			return nil, fmt.Errorf("reduction: uncovered[%d] = %d", j, uncovered[j])
+		}
+		for p, comp := range comps {
+			if p != uncovered[j] {
+				split(comp)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return racesim.WithBinaryReducer(tr, c.Sink, int(c.Y), racesim.FullTree)
+}
+
+// BestRoutedMakespan returns the minimum DES makespan over the 3^m
+// choices of which pattern composite each clause leaves uncovered, under
+// the given assignment.
+func (c *Sec42) BestRoutedMakespan(assign []bool) (int64, error) {
+	m := len(c.Cls)
+	uncovered := make([]int, m)
+	best := int64(-1)
+	var rec func(j int) error
+	rec = func(j int) error {
+		if j == m {
+			tr, err := c.RoutedTrace(assign, uncovered)
+			if err != nil {
+				return err
+			}
+			res, err := racesim.Simulate(tr, 0)
+			if err != nil {
+				return err
+			}
+			if best < 0 || res.FinishTime < best {
+				best = res.FinishTime
+			}
+			return nil
+		}
+		for p := 0; p < 3; p++ {
+			uncovered[j] = p
+			if err := rec(j + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// MinOverAssignments returns the best routed makespan over every
+// assignment; for a 1-in-3 satisfiable formula it equals Target, otherwise
+// it exceeds it.
+func (c *Sec42) MinOverAssignments() (int64, error) {
+	best := int64(-1)
+	var firstErr error
+	assignments(c.Formula.NumVars, func(assign []bool) bool {
+		m, err := c.BestRoutedMakespan(assign)
+		if err != nil {
+			firstErr = err
+			return true
+		}
+		if best < 0 || m < best {
+			best = m
+		}
+		return false
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,274 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/racesim"
+)
+
+// TestCompositeNode verifies Figure 12: an order-k composite takes k+2
+// time without resources and k/2+4 with a 2-unit reducer of either class.
+func TestCompositeNode(t *testing.T) {
+	for _, k := range []int64{8, 16, 42, 100} {
+		tr := &racesim.Trace{}
+		s := addCell(tr)
+		sink := addComposite(tr, s, k)
+		res, err := racesim.Simulate(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.CellFinal[sink], k+2; got != want {
+			t.Fatalf("k=%d: unresourced finish = %d; want %d", k, got, want)
+		}
+		// 2-unit k-way split.
+		kway, err := racesim.WithKWaySplit(tr, sink, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = racesim.Simulate(kway, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.CellFinal[sink], k/2+4; got != want {
+			t.Fatalf("k=%d: k-way finish = %d; want %d", k, got, want)
+		}
+		// Height-1 binary reducer: same bound.
+		bin, err := racesim.WithBinaryReducer(tr, sink, 1, racesim.FullTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = racesim.Simulate(bin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.CellFinal[sink], k/2+4; got != want {
+			t.Fatalf("k=%d: binary finish = %d; want %d", k, got, want)
+		}
+	}
+}
+
+func singleClause42(t *testing.T) *Sec42 {
+	t.Helper()
+	f := Formula{NumVars: 3, Clauses: []Clause{{Pos(0), Pos(1), Pos(2)}}}
+	c, err := BuildSec42(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSec42VariableTimes verifies the Figure 13 finish times: the chosen
+// literal vertex finishes at 5x+5 and the other at 6x+3.
+func TestSec42VariableTimes(t *testing.T) {
+	c := singleClause42(t)
+	x := c.X
+	tr, err := c.RoutedTrace([]bool{true, false, true}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := racesim.Simulate(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, assign := range []bool{true, false, true} {
+		vg := c.Vars[i]
+		early, late := res.CellFinal[vg.V5], res.CellFinal[vg.V6]
+		if !assign {
+			early, late = late, early
+		}
+		if early != 5*x+5 {
+			t.Fatalf("var %d: chosen literal vertex = %d; want %d", i, early, 5*x+5)
+		}
+		if late != 6*x+3 {
+			t.Fatalf("var %d: other literal vertex = %d; want %d", i, late, 6*x+3)
+		}
+	}
+}
+
+// TestTable3 regenerates Table 3 exactly: the pattern-vertex earliest
+// finish times for all 8 assignments of a positive clause, with
+// a = 6x+4 and b = 5x+6.
+func TestTable3(t *testing.T) {
+	c := singleClause42(t)
+	a := 6*c.X + 4
+	b := 5*c.X + 6
+	want := map[[3]bool][3]int64{
+		{true, true, true}:    {a + 1, a + 1, a + 1},
+		{false, true, true}:   {a, a, a + 2},
+		{true, false, true}:   {a, a + 2, a},
+		{true, true, false}:   {a + 2, a, a},
+		{false, false, true}:  {b + 2, a + 1, a + 1},
+		{false, true, false}:  {a + 1, b + 2, a + 1},
+		{true, false, false}:  {a + 1, a + 1, b + 2},
+		{false, false, false}: {a, a, a},
+	}
+	for assign, row := range want {
+		tr, err := c.RoutedTrace(assign[:], []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := racesim.Simulate(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := c.Cls[0]
+		got := [3]int64{res.CellFinal[cg.C5], res.CellFinal[cg.C6], res.CellFinal[cg.C7]}
+		if got != row {
+			t.Fatalf("assignment %v: (C5,C6,C7) = %v; want %v", assign, got, row)
+		}
+	}
+}
+
+// TestSec42ClauseTimes verifies the clause-side milestones for a
+// satisfying assignment: C4 at 4x+7, the uncovered pattern composite at
+// 7x+10, the covered ones at 7x+9, and the masked outputs at 7x+12.
+func TestSec42ClauseTimes(t *testing.T) {
+	c := singleClause42(t)
+	x := c.X
+	// Exactly one true literal: V1 = T, V2 = F, V3 = F matches pattern
+	// (T,F,F), checked by C7 (index 2).
+	tr, err := c.RoutedTrace([]bool{true, false, false}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := racesim.Simulate(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := c.Cls[0]
+	if got := res.CellFinal[cg.C4]; got != 4*x+7 {
+		t.Fatalf("C4 = %d; want %d", got, 4*x+7)
+	}
+	if got := res.CellFinal[cg.C10Sink]; got != 7*x+10 {
+		t.Fatalf("uncovered composite = %d; want %d", got, 7*x+10)
+	}
+	for _, covered := range []int{cg.C8Sink, cg.C9Sink} {
+		if got := res.CellFinal[covered]; got != 7*x+9 {
+			t.Fatalf("covered composite = %d; want %d", got, 7*x+9)
+		}
+	}
+	for _, mask := range []int{cg.C11, cg.C12, cg.C13} {
+		if got := res.CellFinal[mask]; got != 7*x+12 {
+			t.Fatalf("masked output = %d; want %d", got, 7*x+12)
+		}
+	}
+	if res.FinishTime != c.Target {
+		t.Fatalf("overall makespan = %d; want target %d", res.FinishTime, c.Target)
+	}
+}
+
+// TestSec42Equivalence checks the reduction's decision behaviour over all
+// assignments and cover choices: the target is reachable iff the formula
+// is 1-in-3 satisfiable.
+func TestSec42Equivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+	}{
+		{"figure9-sat", Figure9Formula()},
+		{"unsat-pair", UnsatOneInThreeFormula()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := BuildSec42(tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, err := c.MinOverAssignments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, sat := tc.f.OneInThreeSatisfiable()
+			if sat && best != c.Target {
+				t.Fatalf("satisfiable: best routed makespan = %d; want %d", best, c.Target)
+			}
+			if !sat && best <= c.Target {
+				t.Fatalf("unsatisfiable: best routed makespan = %d; want > %d", best, c.Target)
+			}
+		})
+	}
+}
+
+// TestSec42StarvationBreaks checks the backward-direction counting
+// argument: denying a variable or a clause composite its units pushes the
+// makespan past the target.
+func TestSec42StarvationBreaks(t *testing.T) {
+	c := singleClause42(t)
+	assign := []bool{true, false, false}
+	// Build a routing that skips variable 0's composites entirely.
+	tr := c.Trace
+	var err error
+	split := func(cell int) {
+		if err == nil {
+			tr, err = racesim.WithKWaySplit(tr, cell, 2)
+		}
+	}
+	for i, vg := range c.Vars {
+		if i == 0 {
+			continue // starved
+		}
+		if assign[i] {
+			split(vg.V2Sink)
+		} else {
+			split(vg.V3Sink)
+		}
+		split(vg.V4Sink)
+	}
+	cg := c.Cls[0]
+	split(cg.C2Sink)
+	split(cg.C3Sink)
+	split(cg.C8Sink)
+	split(cg.C9Sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = racesim.WithBinaryReducer(tr, c.Sink, int(c.Y), racesim.FullTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := racesim.Simulate(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishTime <= c.Target {
+		t.Fatalf("starved variable still meets target: %d <= %d", res.FinishTime, c.Target)
+	}
+}
+
+// TestSec42FlowRealizable checks the resource-reuse accounting: the
+// intended per-cell allocation is realizable as a source-to-sink flow of
+// value exactly 2n + 4m on the race DAG's arc form.
+func TestSec42FlowRealizable(t *testing.T) {
+	c := singleClause42(t)
+	assign := []bool{true, false, false}
+	vi, err := c.Trace.RaceInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := vi.ToArcForm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := make([]int64, af.Inst.G.NumEdges())
+	give := func(cell int) { lower[af.JobArc[cell]] = 2 }
+	for i, vg := range c.Vars {
+		if assign[i] {
+			give(vg.V2Sink)
+		} else {
+			give(vg.V3Sink)
+		}
+		give(vg.V4Sink)
+	}
+	cg := c.Cls[0]
+	give(cg.C2Sink)
+	give(cg.C3Sink)
+	give(cg.C8Sink)
+	give(cg.C9Sink)
+	res, err := minFlowValue(af, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != c.Budget {
+		t.Fatalf("min flow = %d; want budget %d (2n+4m)", res, c.Budget)
+	}
+}

@@ -1,0 +1,93 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// TreeDecomposition is a tree decomposition of (the undirected version of)
+// a DAG.  Bags[i] lists vertices; Parent[i] is the tree parent of bag i
+// (-1 for the root).  See Section 4.3, footnote 2.
+type TreeDecomposition struct {
+	Bags   [][]int
+	Parent []int
+}
+
+// Width returns max bag size minus one.
+func (td *TreeDecomposition) Width() int {
+	w := 0
+	for _, b := range td.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Validate checks the three tree-decomposition conditions against g:
+// every vertex appears in some bag, every edge has both endpoints in some
+// bag, and for every vertex the bags containing it induce a connected
+// subtree.
+func (td *TreeDecomposition) Validate(g *dag.Graph) error {
+	if len(td.Bags) != len(td.Parent) {
+		return fmt.Errorf("reduction: %d bags but %d parent entries", len(td.Bags), len(td.Parent))
+	}
+	n := g.NumNodes()
+	inBag := make([][]int, n) // vertex -> bags containing it
+	for b, bag := range td.Bags {
+		for _, v := range bag {
+			if v < 0 || v >= n {
+				return fmt.Errorf("reduction: bag %d contains missing vertex %d", b, v)
+			}
+			inBag[v] = append(inBag[v], b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(inBag[v]) == 0 {
+			return fmt.Errorf("reduction: vertex %d (%s) in no bag", v, g.Name(v))
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		found := false
+		for _, bag := range td.Bags {
+			hasU, hasV := false, false
+			for _, v := range bag {
+				if v == ed.From {
+					hasU = true
+				}
+				if v == ed.To {
+					hasV = true
+				}
+			}
+			if hasU && hasV {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("reduction: edge %d (%d->%d) covered by no bag", e, ed.From, ed.To)
+		}
+	}
+	// Connectivity: the bags holding v must form a subtree.  Count, for
+	// each vertex, the bags holding it whose parent also holds it; a
+	// connected subtree with k nodes has exactly k-1 such child bags.
+	for v := 0; v < n; v++ {
+		bags := inBag[v]
+		holds := make(map[int]bool, len(bags))
+		for _, b := range bags {
+			holds[b] = true
+		}
+		linked := 0
+		for _, b := range bags {
+			if p := td.Parent[b]; p >= 0 && holds[p] {
+				linked++
+			}
+		}
+		if linked != len(bags)-1 {
+			return fmt.Errorf("reduction: bags of vertex %d (%s) are not connected", v, g.Name(v))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package sp
+
+import (
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+func dagNew() *dag.Graph { return dag.New() }
+
+// mustInstance builds an instance giving every edge a constant duration.
+func mustInstance(g *dag.Graph, d int64) *core.Instance {
+	fns := make([]duration.Func, g.NumEdges())
+	for e := range fns {
+		fns[e] = duration.Constant(d)
+	}
+	return core.MustInstance(g, fns)
+}

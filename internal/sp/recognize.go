@@ -1,0 +1,84 @@
+package sp
+
+import (
+	"repro/internal/core"
+)
+
+// Recognize decides whether the instance's DAG is two-terminal
+// series-parallel and, if so, returns a decomposition tree whose leaves
+// carry the instance's duration functions.  It uses the classical
+// confluence property of TTSP graphs: repeatedly merge parallel arcs and
+// contract internal vertices with in-degree and out-degree one until either
+// a single source-sink arc remains (series-parallel) or no reduction
+// applies (not series-parallel).
+func Recognize(inst *core.Instance) (*Tree, bool) {
+	type arc struct {
+		from, to int
+		tree     *Tree
+	}
+	// Work on a mutable arc list; node degrees are tracked as counts.
+	arcs := make([]*arc, 0, inst.G.NumEdges())
+	for e := 0; e < inst.G.NumEdges(); e++ {
+		ed := inst.G.Edge(e)
+		arcs = append(arcs, &arc{from: ed.From, to: ed.To, tree: Leaf(inst.Fns[e])})
+	}
+	s, t := inst.Source, inst.Sink
+
+	remove := func(i int) {
+		arcs[i] = arcs[len(arcs)-1]
+		arcs = arcs[:len(arcs)-1]
+	}
+
+	for {
+		if len(arcs) == 1 && arcs[0].from == s && arcs[0].to == t {
+			return arcs[0].tree, true
+		}
+		changed := false
+
+		// Parallel reduction: two arcs with identical endpoints merge.
+		seen := make(map[[2]int]int, len(arcs))
+		for i := 0; i < len(arcs); i++ {
+			key := [2]int{arcs[i].from, arcs[i].to}
+			if j, ok := seen[key]; ok {
+				arcs[j].tree = Parallel(arcs[j].tree, arcs[i].tree)
+				remove(i)
+				changed = true
+				break
+			}
+			seen[key] = i
+		}
+		if changed {
+			continue
+		}
+
+		// Series reduction: an internal vertex with exactly one incoming
+		// and one outgoing arc is contracted.
+		indeg := make(map[int][]int)
+		outdeg := make(map[int][]int)
+		for i, a := range arcs {
+			indeg[a.to] = append(indeg[a.to], i)
+			outdeg[a.from] = append(outdeg[a.from], i)
+		}
+		for v, ins := range indeg {
+			if v == s || v == t {
+				continue
+			}
+			outs := outdeg[v]
+			if len(ins) != 1 || len(outs) != 1 {
+				continue
+			}
+			i, j := ins[0], outs[0]
+			if i == j {
+				continue // self loop; not a DAG anyway
+			}
+			arcs[i].tree = Series(arcs[i].tree, arcs[j].tree)
+			arcs[i].to = arcs[j].to
+			remove(j)
+			changed = true
+			break
+		}
+		if !changed {
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package rtt is a Go implementation of the discrete resource-time
+// tradeoff problem with resource reuse over paths, reproducing
+//
+//	Das, Tsai, Duppala, Lynch, Arkin, Chowdhury, Mitchell, Skiena.
+//	"Data Races and the Discrete Resource-time Tradeoff Problem with
+//	Resource Reuse over Paths."  SPAA 2019.
+//
+// An instance is a single-source single-sink DAG whose arcs carry jobs
+// with non-increasing duration functions; a solution routes integral
+// resource units along source-to-sink paths (each unit serves every arc
+// it traverses - "reuse over paths"), and the makespan is the longest
+// path under the resulting durations.  The package exposes:
+//
+//   - the three duration-function classes of Section 2 (general step,
+//     k-way splitting, recursive binary splitting);
+//   - the Section 3 approximation algorithms (bi-criteria LP rounding,
+//     the 5-approximation for k-way splitting, the 4-approximation and
+//     the improved (4/3, 14/5) bi-criteria for recursive binary);
+//   - the Section 3.4 exact pseudo-polynomial dynamic program for
+//     series-parallel DAGs, with recognition;
+//   - an exact branch-and-bound optimizer for small general instances;
+//   - the race-DAG machinery of Section 1: traces, reducers, a
+//     discrete-event simulator, and vertex-form instances;
+//   - the Section 4 / Appendix A hardness constructions (via
+//     internal/reduction, exercised by the benchmark harness).
+package rtt
+
+import (
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/exact"
+	"repro/internal/racesim"
+	"repro/internal/sp"
+)
+
+// Core model types.
+type (
+	// Instance is an activity-on-arc problem instance.
+	Instance = core.Instance
+	// VertexInstance is a jobs-on-vertices (race DAG) instance.
+	VertexInstance = core.VertexInstance
+	// Solution is a validated flow with its value and makespan.
+	Solution = core.Solution
+	// DurationFunc maps resources to job duration (non-increasing).
+	DurationFunc = duration.Func
+	// Tuple is a resource-time breakpoint.
+	Tuple = duration.Tuple
+	// ApproxResult is the outcome of an approximation algorithm.
+	ApproxResult = approx.Result
+	// ExactOptions tunes the exact branch-and-bound search.
+	ExactOptions = exact.Options
+	// ExactStats reports exact-search effort and completeness.
+	ExactStats = exact.Stats
+	// SPTree is a series-parallel decomposition tree.
+	SPTree = sp.Tree
+	// SPTables holds solved series-parallel DP tables.
+	SPTables = sp.Tables
+	// Trace is a program's update trace for the race simulator.
+	Trace = racesim.Trace
+	// Update is one atomic update in a trace.
+	Update = racesim.Update
+	// SimResult is a simulated execution outcome.
+	SimResult = racesim.SimResult
+)
+
+// Reducer kinds for race instances.
+const (
+	NoReducer     = core.NoReducer
+	BinaryReducer = core.BinaryReducer
+	KWayReducer   = core.KWayReducer
+)
+
+// Duration-function constructors.
+var (
+	// NewStep builds a general non-increasing step function (Equation 1).
+	NewStep = duration.NewStep
+	// NewKWay builds the k-way splitting function (Equation 2).
+	NewKWay = duration.NewKWay
+	// NewRecursiveBinary builds the recursive binary splitting function
+	// (Equation 3).
+	NewRecursiveBinary = duration.NewRecursiveBinary
+)
+
+// Constant returns a duration function that ignores resources.
+func Constant(t int64) DurationFunc { return duration.Constant(t) }
+
+// NewInstance validates and builds an activity-on-arc instance; see
+// dag.Graph for graph construction (re-exported via NewGraph).
+var NewInstance = core.NewInstance
+
+// NewVertexInstance builds a jobs-on-vertices instance.
+var NewVertexInstance = core.NewVertexInstance
+
+// NewRaceInstance derives the space-time tradeoff instance of Question
+// 1.3 from a race DAG, with the chosen reducer class at every vertex.
+var NewRaceInstance = core.NewRaceInstance
+
+// Approximation algorithms (Section 3).
+var (
+	// BiCriteria is the (1/alpha, 1/(1-alpha)) algorithm of Theorem 3.4.
+	BiCriteria = approx.BiCriteria
+	// BiCriteriaResource is its minimum-resource twin.
+	BiCriteriaResource = approx.BiCriteriaResource
+	// KWay5 is the 5-approximation of Theorem 3.9.
+	KWay5 = approx.KWay5
+	// Binary4 is the 4-approximation of Theorem 3.10.
+	Binary4 = approx.Binary4
+	// BinaryBiCriteria is the (4/3, 14/5) algorithm of Theorem 3.16.
+	BinaryBiCriteria = approx.BinaryBiCriteria
+)
+
+// Exact optimization (branch and bound; exponential worst case).
+var (
+	// ExactMinMakespan minimizes makespan under a resource budget.
+	ExactMinMakespan = exact.MinMakespan
+	// ExactMinResource minimizes resources under a makespan target.
+	ExactMinResource = exact.MinResource
+	// ExactFeasible decides the (budget, target) decision problem.
+	ExactFeasible = exact.Feasible
+)
+
+// Series-parallel machinery (Section 3.4).
+var (
+	// SPLeaf, SPSeries and SPParallel build decomposition trees.
+	SPLeaf     = sp.Leaf
+	SPSeries   = sp.Series
+	SPParallel = sp.Parallel
+	// SPSolve runs the O(m B^2) dynamic program.
+	SPSolve = sp.Solve
+	// SPRecognize extracts a decomposition tree from an instance when its
+	// DAG is two-terminal series-parallel.
+	SPRecognize = sp.Recognize
+)
+
+// Race simulation (Section 1).
+var (
+	// Simulate runs a trace on the unit-cost update machine.
+	Simulate = racesim.Simulate
+	// ParallelMM builds the Figure 3 matrix-multiply trace.
+	ParallelMM = racesim.ParallelMM
+	// SingleCell builds n updates to one shared cell (Figure 2).
+	SingleCell = racesim.SingleCell
+	// WithBinaryReducer and WithKWaySplit attach reducers to a cell.
+	WithBinaryReducer = racesim.WithBinaryReducer
+	WithKWaySplit     = racesim.WithKWaySplit
+	// SupernodeBinary applies the Figure 5 supernode transformation.
+	SupernodeBinary = racesim.SupernodeBinary
+	// RaceOutcomes enumerates the Figure 1 interleavings.
+	RaceOutcomes = racesim.RaceOutcomes
+	// Figure4 and Figure5 rebuild the paper's running example.
+	Figure4 = racesim.Figure4
+	Figure5 = racesim.Figure5
+)
+
+// Binary reducer variants.
+const (
+	SelfParent = racesim.SelfParent
+	FullTree   = racesim.FullTree
+)

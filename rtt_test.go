@@ -1,0 +1,92 @@
+package rtt
+
+import "testing"
+
+// TestFacadeEndToEnd exercises the public API surface end to end: build,
+// solve exactly and approximately, simulate, and round-trip the
+// series-parallel machinery.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewGraph()
+	s := g.AddNode("s")
+	mid := g.AddNode("m")
+	snk := g.AddNode("t")
+	g.AddEdge(s, mid)
+	g.AddEdge(mid, snk)
+	step, err := NewStep([]Tuple{{R: 0, T: 8}, {R: 2, T: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(g, []DurationFunc{step, NewKWay(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := ExactMinMakespan(inst, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatal("incomplete")
+	}
+	res, err := BiCriteria(inst, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sol.Makespan < sol.Makespan {
+		t.Fatalf("approximation %d beat the optimum %d", res.Sol.Makespan, sol.Makespan)
+	}
+
+	tree := SPSeries(SPLeaf(step), SPLeaf(NewRecursiveBinary(16)))
+	tables, err := SPSolve(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tables.Makespan(4); err != nil {
+		t.Fatal(err)
+	}
+	spInst, _, err := tree.ToInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := SPRecognize(spInst); !ok {
+		t.Fatal("series instance not recognized")
+	}
+
+	simRes, err := Simulate(SingleCell(100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.FinishTime != 100 {
+		t.Fatalf("simulated %d; want 100", simRes.FinishTime)
+	}
+
+	vi := Figure4()
+	m, err := vi.Makespan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 11 {
+		t.Fatalf("Figure 4 makespan %d", m)
+	}
+
+	gen := NewGenerator(1)
+	kinst := gen.KWayInstance(2, 2, 1, 20)
+	if _, err := KWay5(kinst, 3); err != nil {
+		t.Fatal(err)
+	}
+	binst := gen.BinaryInstance(2, 2, 1, 20)
+	if _, err := Binary4(binst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinaryBiCriteria(binst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BiCriteriaResource(inst, 20, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExactMinResource(inst, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _, err := ExactFeasible(inst, 100, 100, nil); err != nil || !ok {
+		t.Fatalf("feasible = %v, %v", ok, err)
+	}
+}
