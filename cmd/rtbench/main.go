@@ -5,15 +5,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/racesim"
 	"repro/internal/reduction"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -98,15 +99,14 @@ func table1() {
 	fmt.Println("## Table 1 - measured approximation ratios vs exact OPT (30 random instances each)")
 	fmt.Println("| algorithm | proven bound | worst measured | mean measured |")
 	fmt.Println("|---|---|---|---|")
+	ctx := context.Background()
 	rows := []struct {
-		name, bound, kind string
-		run               func(*core.Instance, int64) (*approx.Result, error)
+		name, bound, kind, solver string
 	}{
-		{"bi-criteria alpha=1/2 (Thm 3.4)", "2 OPT (2B resources)", "step",
-			func(i *core.Instance, b int64) (*approx.Result, error) { return approx.BiCriteria(i, b, 0.5) }},
-		{"k-way 5-approx (Thm 3.9)", "5 OPT", "kway", approx.KWay5},
-		{"binary 4-approx (Thm 3.10)", "4 OPT", "binary", approx.Binary4},
-		{"binary (4/3, 14/5) (Thm 3.16)", "14/5 OPT (4B/3 resources)", "binary", approx.BinaryBiCriteria},
+		{"bi-criteria alpha=1/2 (Thm 3.4)", "2 OPT (2B resources)", "step", "bicriteria"},
+		{"k-way 5-approx (Thm 3.9)", "5 OPT", "kway", "kway5"},
+		{"binary 4-approx (Thm 3.10)", "4 OPT", "binary", "binary4"},
+		{"binary (4/3, 14/5) (Thm 3.16)", "14/5 OPT (4B/3 resources)", "binary", "binarybi"},
 	}
 	for _, row := range rows {
 		g := gen.New(99)
@@ -122,15 +122,16 @@ func table1() {
 				inst = g.BinaryInstance(2, 2, 1, 30)
 			}
 			budget := int64(count%5 + 1)
-			opt, stats, err := exact.MinMakespan(inst, budget, nil)
-			if err != nil || !stats.Complete || opt.Makespan == 0 {
+			opt, err := solver.Solve(ctx, "exact", inst, solver.WithBudget(budget))
+			if err != nil || !opt.Complete || opt.Sol.Makespan == 0 {
 				continue
 			}
-			res, err := row.run(inst, budget)
+			rep, err := solver.Solve(ctx, row.solver, inst,
+				solver.WithBudget(budget), solver.WithAlpha(0.5))
 			if err != nil {
 				log.Fatal(err)
 			}
-			ratio := float64(res.Sol.Makespan) / float64(opt.Makespan)
+			ratio := float64(rep.Sol.Makespan) / float64(opt.Sol.Makespan)
 			if ratio > worst {
 				worst = ratio
 			}
@@ -197,11 +198,12 @@ func table3() {
 
 func gaps() {
 	fmt.Println("## Table 1 hardness column - machine-verified gaps")
+	ctx := context.Background()
 	sat, err := reduction.BuildThm41(reduction.Figure9Formula())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol, _, err := exact.MinMakespan(sat.Inst, sat.Budget, nil)
+	sol, err := solver.Solve(ctx, "exact", sat.Inst, solver.WithBudget(sat.Budget))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,13 +215,13 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Theorem 4.1/4.3: satisfiable OPT makespan = %d; unsatisfiable reaches 1: %v (factor-2 gap)\n", sol.Makespan, ok)
+	fmt.Printf("Theorem 4.1/4.3: satisfiable OPT makespan = %d; unsatisfiable reaches 1: %v (factor-2 gap)\n", sol.Sol.Makespan, ok)
 
 	gapSat, err := reduction.BuildResourceGap(reduction.Figure9Formula())
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs, _, err := exact.MinResource(gapSat.Inst, gapSat.Target, nil)
+	rs, err := solver.Solve(ctx, "exact", gapSat.Inst, solver.WithTarget(gapSat.Target))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -235,9 +237,9 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ru, _, err := exact.MinResource(gapUnsat.Inst, gapUnsat.Target, nil)
+	ru, err := solver.Solve(ctx, "exact", gapUnsat.Inst, solver.WithTarget(gapUnsat.Target))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Theorem 4.4: satisfiable min resource = %d; unsatisfiable = %d (factor-3/2 gap)\n", rs.Value, ru.Value)
+	fmt.Printf("Theorem 4.4: satisfiable min resource = %d; unsatisfiable = %d (factor-3/2 gap)\n", rs.Sol.Value, ru.Sol.Value)
 }

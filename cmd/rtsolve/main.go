@@ -1,24 +1,29 @@
-// Command rtsolve solves a resource-time tradeoff instance from JSON.
+// Command rtsolve solves a resource-time tradeoff instance from JSON
+// through the unified solver registry.
 //
+//	rtsolve -in instance.json -budget 8                  # auto-dispatch
 //	rtsolve -in instance.json -budget 8 -algo bicriteria [-alpha 0.5]
-//	rtsolve -in instance.json -target 20 -algo exact
+//	rtsolve -in instance.json -target 20 -algo exact [-deadline 30s]
+//	rtsolve -list                                        # solver table
 //
-// Algorithms: exact, bicriteria, kway5, binary4, binarybi, spdp.
-// With -budget the makespan is minimized; with -target the resource usage
-// is minimized (exact, bicriteria and spdp only).
+// With -budget the makespan is minimized; with -target the resource
+// usage is minimized.  The registry rejects unsupported combinations up
+// front (e.g. -target with kway5, which only minimizes makespan under a
+// budget) instead of silently falling through.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/approx"
 	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/sp"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -27,10 +32,17 @@ func main() {
 	in := flag.String("in", "", "instance JSON file (required)")
 	budget := flag.Int64("budget", -1, "resource budget (minimize makespan)")
 	target := flag.Int64("target", -1, "makespan target (minimize resources)")
-	algo := flag.String("algo", "exact", "exact | bicriteria | kway5 | binary4 | binarybi | spdp")
-	alpha := flag.Float64("alpha", 0.5, "alpha for bicriteria")
-	maxNodes := flag.Int("maxnodes", 1<<20, "search-node budget for exact")
+	algo := flag.String("algo", "auto", "solver name; see -list")
+	alpha := flag.Float64("alpha", 0.5, "alpha for the bi-criteria solvers")
+	maxNodes := flag.Int("maxnodes", 0, "search-node budget for exact (0: default)")
+	deadline := flag.Duration("deadline", 0, "wall-time limit (e.g. 30s; 0: none)")
+	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
+
+	if *list {
+		listSolvers()
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -50,81 +62,61 @@ func main() {
 	fmt.Printf("instance: %d nodes, %d arcs, zero-flow makespan %d\n",
 		inst.G.NumNodes(), inst.G.NumEdges(), inst.ZeroFlowMakespan())
 
-	report := func(sol core.Solution, extra string) {
-		fmt.Printf("solution: makespan %d, resources %d%s\n", sol.Makespan, sol.Value, extra)
+	opts := []solver.Option{solver.WithAlpha(*alpha), solver.WithMaxNodes(*maxNodes)}
+	if *budget >= 0 {
+		opts = append(opts, solver.WithBudget(*budget))
+	} else {
+		opts = append(opts, solver.WithTarget(*target))
+	}
+	if *deadline > 0 {
+		opts = append(opts, solver.WithDeadline(time.Now().Add(*deadline)))
 	}
 
-	switch *algo {
-	case "exact":
-		opts := &exact.Options{MaxNodes: *maxNodes}
-		if *budget >= 0 {
-			sol, stats, err := exact.MinMakespan(&inst, *budget, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			report(sol, fmt.Sprintf(" (nodes %d, complete %v)", stats.Nodes, stats.Complete))
-		} else {
-			sol, stats, err := exact.MinResource(&inst, *target, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			report(sol, fmt.Sprintf(" (nodes %d, complete %v)", stats.Nodes, stats.Complete))
-		}
-	case "bicriteria":
-		var res *approx.Result
-		if *budget >= 0 {
-			res, err = approx.BiCriteria(&inst, *budget, *alpha)
-		} else {
-			res, err = approx.BiCriteriaResource(&inst, *target, *alpha)
-		}
-		if err != nil {
+	rep, err := solver.Solve(context.Background(), *algo, &inst, opts...)
+	if err != nil {
+		if rep == nil {
 			log.Fatal(err)
 		}
-		report(res.Sol, fmt.Sprintf(" (LP bound %.2f)", res.LPObjective))
-	case "kway5", "binary4", "binarybi":
-		if *budget < 0 {
-			log.Fatalf("%s minimizes makespan; use -budget", *algo)
+		// Interrupted with a partial solution in hand: report it, but
+		// exit distinctly so scripts can tell partial from complete.
+		fmt.Printf("interrupted: %v\n", err)
+		printReport(rep)
+		os.Exit(3)
+	}
+	printReport(rep)
+}
+
+func printReport(rep *solver.Report) {
+	fmt.Printf("solution: makespan %d, resources %d\n", rep.Sol.Makespan, rep.Sol.Value)
+	fmt.Printf("solver:   %s (%s)\n", rep.Solver, rep.Guarantee)
+	if rep.Routing != "" {
+		fmt.Printf("routing:  %s\n", rep.Routing)
+	}
+	if rep.LowerBound > 0 {
+		fmt.Printf("bound:    %v >= %.2f\n", rep.Objective, rep.LowerBound)
+	}
+	if rep.Nodes > 0 {
+		fmt.Printf("search:   %d nodes, complete %v\n", rep.Nodes, rep.Complete)
+	}
+	fmt.Printf("wall:     %v\n", rep.Wall)
+}
+
+func listSolvers() {
+	fmt.Printf("%-20s %-8s %-8s %-8s %s\n", "NAME", "BUDGET", "TARGET", "EXACT", "GUARANTEE")
+	for _, s := range solver.List() {
+		caps := s.Capabilities()
+		var notes []string
+		if caps.SeriesParallelOnly {
+			notes = append(notes, "series-parallel only")
 		}
-		var res *approx.Result
-		switch *algo {
-		case "kway5":
-			res, err = approx.KWay5(&inst, *budget)
-		case "binary4":
-			res, err = approx.Binary4(&inst, *budget)
-		default:
-			res, err = approx.BinaryBiCriteria(&inst, *budget)
+		if caps.Classes != nil {
+			notes = append(notes, "classes: "+strings.Join(caps.Classes, ","))
 		}
-		if err != nil {
-			log.Fatal(err)
+		extra := ""
+		if len(notes) > 0 {
+			extra = " [" + strings.Join(notes, "; ") + "]"
 		}
-		report(res.Sol, fmt.Sprintf(" (LP bound %.2f)", res.LPObjective))
-	case "spdp":
-		tree, ok := sp.Recognize(&inst)
-		if !ok {
-			log.Fatal("instance is not two-terminal series-parallel")
-		}
-		b := *budget
-		if b < 0 {
-			b = inst.MaxUsefulBudget()
-		}
-		tables, err := sp.Solve(tree, b)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *budget >= 0 {
-			m, err := tables.Makespan(*budget)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("solution: makespan %d with budget %d (exact, series-parallel DP)\n", m, *budget)
-		} else {
-			r, ok := tables.MinResource(*target)
-			if !ok {
-				log.Fatalf("makespan %d unreachable", *target)
-			}
-			fmt.Printf("solution: resources %d reach makespan <= %d (exact, series-parallel DP)\n", r, *target)
-		}
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		fmt.Printf("%-20s %-8v %-8v %-8v %s%s\n",
+			s.Name(), caps.Budget, caps.Target, caps.Exact, caps.Guarantee, extra)
 	}
 }

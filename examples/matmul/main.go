@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,11 +56,20 @@ func main() {
 	}
 	fmt.Printf("\noptimization view (one dot-product cell, binary reducer durations):\n")
 	fmt.Printf("%-8s %-10s %-12s\n", "budget", "makespan", "LP bound")
+	ctx := context.Background()
 	for _, budget := range []int64{0, 2, 8, 32} {
-		res, err := rtt.BinaryBiCriteria(af.Inst, budget)
+		rep, err := rtt.Solve(ctx, "binarybi", af.Inst, rtt.WithBudget(budget))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %-10d %-12.1f\n", budget, res.Sol.Makespan, res.LPObjective)
+		fmt.Printf("%-8d %-10d %-12.1f\n", budget, rep.Sol.Makespan, rep.LowerBound)
 	}
+
+	// The same instance through the portfolio solver: its duration
+	// functions are recursive binary, and auto says so.
+	rep, err := rtt.Solve(ctx, "auto", af.Inst, rtt.WithBudget(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto(budget 8): makespan %d via %q in %v\n", rep.Sol.Makespan, rep.Routing, rep.Wall)
 }

@@ -1,11 +1,14 @@
 // Pipeline solves a series-parallel workload exactly with the Section 3.4
 // dynamic program and shows the full space-time tradeoff curve, comparing
-// against the LP-based bi-criteria algorithm on the same instance.
+// against the LP-based bi-criteria algorithm on the same instance.  Both
+// run through the solver registry; the auto solver recognizes the DAG as
+// series-parallel and routes to the exact DP on its own.
 //
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,31 +27,35 @@ func main() {
 	}
 	tree := rtt.SPSeries(stage(100, 80), rtt.SPSeries(stage(60, 60, 60), stage(120)))
 
-	const budget = 24
-	tables, err := rtt.SPSolve(tree, budget)
-	if err != nil {
-		log.Fatal(err)
-	}
 	inst, leafArc, err := tree.ToInstance()
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+	const budget = 24
 	fmt.Println("series-parallel pipeline: exact space-time tradeoff (Section 3.4 DP)")
 	fmt.Printf("%-8s %-12s %-22s\n", "budget", "makespan", "bi-criteria makespan")
 	for _, l := range []int64{0, 2, 4, 8, 12, 16, 24} {
-		m, err := tables.Makespan(l)
+		auto, err := rtt.Solve(ctx, "auto", inst, rtt.WithBudget(l))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := rtt.BiCriteria(inst, l, 0.5)
+		if l == 0 {
+			fmt.Printf("(auto routing: %s)\n", auto.Routing)
+		}
+		bi, err := rtt.Solve(ctx, "bicriteria", inst, rtt.WithBudget(l), rtt.WithAlpha(0.5))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %-12d %d (using %d units)\n", l, m, res.Sol.Makespan, res.Sol.Value)
+		fmt.Printf("%-8d %-12d %d (using %d units)\n", l, auto.Sol.Makespan, bi.Sol.Makespan, bi.Sol.Value)
 	}
 
-	// Extract and print the optimal allocation at the full budget.
+	// The raw DP tables are still available for allocation extraction.
+	tables, err := rtt.SPSolve(tree, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
 	alloc, err := tables.Allocation(budget)
 	if err != nil {
 		log.Fatal(err)
@@ -70,8 +77,11 @@ func main() {
 	}
 	fmt.Println("instance recognized as two-terminal series-parallel")
 
-	// The minimum-resource direction from the same tables.
-	if r, ok := tables.MinResource(150); ok {
-		fmt.Printf("reaching makespan 150 needs %d units\n", r)
+	// The minimum-resource direction through the registry: the spdp
+	// solver finds the cheapest budget reaching the target makespan.
+	rep, err := rtt.Solve(ctx, "spdp", inst, rtt.WithTarget(150))
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("reaching makespan 150 needs %d units (makespan %d)\n", rep.Sol.Value, rep.Sol.Makespan)
 }

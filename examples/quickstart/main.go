@@ -1,10 +1,12 @@
-// Quickstart: build a small resource-time tradeoff instance, solve it
-// exactly and approximately, and compare.
+// Quickstart: build a small resource-time tradeoff instance and solve it
+// through the unified solver registry - exactly, approximately, and with
+// the auto portfolio solver.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,28 +43,37 @@ func main() {
 	}
 	fmt.Printf("zero-resource makespan: %d\n", inst.ZeroFlowMakespan())
 
+	ctx := context.Background()
 	for _, budget := range []int64{0, 2, 4} {
-		sol, stats, err := rtt.ExactMinMakespan(inst, budget, nil)
+		rep, err := rtt.Solve(ctx, "exact", inst, rtt.WithBudget(budget))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("budget %d: exact makespan %-3d (search nodes %d)\n",
-			budget, sol.Makespan, stats.Nodes)
+		fmt.Printf("budget %d: exact makespan %-3d (search nodes %d, %v)\n",
+			budget, rep.Sol.Makespan, rep.Nodes, rep.Wall)
 	}
 
 	// The Theorem 3.4 bi-criteria algorithm with alpha = 1/2: it may use
 	// up to twice the budget but lands within twice the LP lower bound.
-	res, err := rtt.BiCriteria(inst, 2, 0.5)
+	rep, err := rtt.Solve(ctx, "bicriteria", inst, rtt.WithBudget(2), rtt.WithAlpha(0.5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bi-criteria(alpha=1/2, budget 2): makespan %d using %d units (LP bound %.1f)\n",
-		res.Sol.Makespan, res.Sol.Value, res.LPObjective)
+		rep.Sol.Makespan, rep.Sol.Value, rep.LowerBound)
 
-	// The minimum-resource direction: how much space to reach makespan 2?
-	rsol, _, err := rtt.ExactMinResource(inst, 2, nil)
+	// The auto portfolio solver inspects the instance and picks the
+	// solver whose guarantee applies, recording the decision.
+	rep, err = rtt.Solve(ctx, "auto", inst, rtt.WithBudget(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reaching makespan 2 needs %d units\n", rsol.Value)
+	fmt.Printf("auto(budget 2): makespan %d via %q\n", rep.Sol.Makespan, rep.Routing)
+
+	// The minimum-resource direction: how much space to reach makespan 2?
+	rep, err = rtt.Solve(ctx, "exact", inst, rtt.WithTarget(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reaching makespan 2 needs %d units\n", rep.Sol.Value)
 }

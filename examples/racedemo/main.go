@@ -1,11 +1,14 @@
 // Racedemo walks through the paper's Section 1 narrative: the Figure 1
 // data race, the Figure 2 reducer, and the Figure 4/5 race DAG whose
-// makespan drops from 11 to 10 with one height-1 supernode.
+// makespan drops from 11 to 10 with one height-1 supernode - then closes
+// the loop to Question 1.3 by solving the derived space-time tradeoff
+// instance through the unified solver registry.
 //
 //	go run ./examples/racedemo
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -73,4 +76,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("unbounded-processor execution time of Figure 4: %d <= %d (Observation 1.1)\n", ef, m4)
+
+	// Question 1.3 on a bigger workload: derive the space-time tradeoff
+	// instance of a single hot cell with a binary reducer and let the
+	// auto solver pick the algorithm whose guarantee applies.
+	tr := &rtt.Trace{NumCells: 65}
+	for k := 0; k < 64; k++ {
+		tr.Updates = append(tr.Updates, rtt.Update{Dst: 64, Srcs: []int{k}})
+	}
+	vi, err := tr.RaceInstance(rtt.BinaryReducer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	af, err := vi.ToArcForm()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQuestion 1.3: minimize makespan of the hot-cell race DAG under a space budget")
+	ctx := context.Background()
+	for _, budget := range []int64{0, 4, 16} {
+		rep, err := rtt.Solve(ctx, "auto", af.Inst, rtt.WithBudget(budget))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %-3d makespan %-5d [%s]\n", budget, rep.Sol.Makespan, rep.Routing)
+	}
 }

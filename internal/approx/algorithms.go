@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -48,6 +49,12 @@ func minFlowOnOriginal(inst *core.Instance, lower []int64) (core.Solution, error
 // using at most LPValue/(1-alpha) resources (<= B/(1-alpha)) with makespan
 // at most LPObjective/alpha (<= OPT(B)/alpha).
 func BiCriteria(inst *core.Instance, budget int64, alpha float64) (*Result, error) {
+	return BiCriteriaCtx(context.Background(), inst, budget, alpha)
+}
+
+// BiCriteriaCtx is BiCriteria with cooperative cancellation of the LP
+// relaxation.
+func BiCriteriaCtx(ctx context.Context, inst *core.Instance, budget int64, alpha float64) (*Result, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("approx: alpha %v outside (0,1)", alpha)
 	}
@@ -58,7 +65,7 @@ func BiCriteria(inst *core.Instance, budget int64, alpha float64) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	rel, err := SolveMakespanLP(ex, budget)
+	rel, err := SolveMakespanLPCtx(ctx, ex, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +80,12 @@ func BiCriteria(inst *core.Instance, budget int64, alpha float64) (*Result, erro
 // makespan target T it returns a solution using at most
 // LPObjective/(1-alpha) resources whose makespan is at most T/alpha.
 func BiCriteriaResource(inst *core.Instance, target int64, alpha float64) (*Result, error) {
+	return BiCriteriaResourceCtx(context.Background(), inst, target, alpha)
+}
+
+// BiCriteriaResourceCtx is BiCriteriaResource with cooperative
+// cancellation of the LP relaxation.
+func BiCriteriaResourceCtx(ctx context.Context, inst *core.Instance, target int64, alpha float64) (*Result, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("approx: alpha %v outside (0,1)", alpha)
 	}
@@ -80,7 +93,7 @@ func BiCriteriaResource(inst *core.Instance, target int64, alpha float64) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	rel, err := SolveResourceLP(ex, target)
+	rel, err := SolveResourceLPCtx(ctx, ex, target)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +115,12 @@ func BiCriteriaResource(inst *core.Instance, target int64, alpha float64) (*Resu
 // algorithm cannot see, so the LP fractional usage r-hat_j stands in for it
 // (r-hat is what the paper's own two-phase predecessors use).
 func KWay5(inst *core.Instance, budget int64) (*Result, error) {
-	return halvedRounding(inst, budget, func(e int, rj int64, rhat float64) int64 {
+	return KWay5Ctx(context.Background(), inst, budget)
+}
+
+// KWay5Ctx is KWay5 with cooperative cancellation of the LP relaxation.
+func KWay5Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
+	return halvedRounding(ctx, inst, budget, func(e int, rj int64, rhat float64) int64 {
 		switch {
 		case rj > 3:
 			return rj / 2
@@ -120,7 +138,13 @@ func KWay5(inst *core.Instance, budget int64) (*Result, error) {
 // t(r/2) <= 2 t(r) of Equation 3 costs at most another factor 2 in
 // makespan.
 func Binary4(inst *core.Instance, budget int64) (*Result, error) {
-	return halvedRounding(inst, budget, func(e int, rj int64, rhat float64) int64 {
+	return Binary4Ctx(context.Background(), inst, budget)
+}
+
+// Binary4Ctx is Binary4 with cooperative cancellation of the LP
+// relaxation.
+func Binary4Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
+	return halvedRounding(ctx, inst, budget, func(e int, rj int64, rhat float64) int64 {
 		return prevPow2(rj / 2)
 	})
 }
@@ -128,7 +152,7 @@ func Binary4(inst *core.Instance, budget int64) (*Result, error) {
 // halvedRounding implements the shared Section 3.2 pipeline: LP, alpha=1/2
 // rounding, per-job resource reduction via reduce, then an integral
 // min-flow on the original instance with the reduced requirements.
-func halvedRounding(inst *core.Instance, budget int64, reduce func(e int, rj int64, rhat float64) int64) (*Result, error) {
+func halvedRounding(ctx context.Context, inst *core.Instance, budget int64, reduce func(e int, rj int64, rhat float64) int64) (*Result, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("approx: negative budget %d", budget)
 	}
@@ -136,7 +160,7 @@ func halvedRounding(inst *core.Instance, budget int64, reduce func(e int, rj int
 	if err != nil {
 		return nil, err
 	}
-	rel, err := SolveMakespanLP(ex, budget)
+	rel, err := SolveMakespanLPCtx(ctx, ex, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +185,12 @@ func halvedRounding(inst *core.Instance, budget int64, reduce func(e int, rj int
 // rounded requirements are then min-flow routed.  Resources grow by at most
 // 4/3, makespan by at most 14/5.
 func BinaryBiCriteria(inst *core.Instance, budget int64) (*Result, error) {
+	return BinaryBiCriteriaCtx(context.Background(), inst, budget)
+}
+
+// BinaryBiCriteriaCtx is BinaryBiCriteria with cooperative cancellation of
+// the LP relaxation.
+func BinaryBiCriteriaCtx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("approx: negative budget %d", budget)
 	}
@@ -168,7 +198,7 @@ func BinaryBiCriteria(inst *core.Instance, budget int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel, err := SolveMakespanLP(ex, budget)
+	rel, err := SolveMakespanLPCtx(ctx, ex, budget)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,16 +60,28 @@ func edgeTwoTuple(fn duration.Func) (t0, r int64, ok bool) {
 // time subject to linear durations, flow conservation and a resource
 // budget.
 func SolveMakespanLP(ex *core.Expanded, budget int64) (*Relaxation, error) {
-	return solveRelaxation(ex, float64(budget), -1)
+	return SolveMakespanLPCtx(context.Background(), ex, budget)
+}
+
+// SolveMakespanLPCtx is SolveMakespanLP with cooperative cancellation of
+// the underlying simplex iteration.
+func SolveMakespanLPCtx(ctx context.Context, ex *core.Expanded, budget int64) (*Relaxation, error) {
+	return solveRelaxation(ctx, ex, float64(budget), -1)
 }
 
 // SolveResourceLP solves the resource relaxation: minimize the flow out of
 // the source subject to the sink event time being at most target.
 func SolveResourceLP(ex *core.Expanded, target int64) (*Relaxation, error) {
-	return solveRelaxation(ex, -1, float64(target))
+	return SolveResourceLPCtx(context.Background(), ex, target)
 }
 
-func solveRelaxation(ex *core.Expanded, budget, target float64) (*Relaxation, error) {
+// SolveResourceLPCtx is SolveResourceLP with cooperative cancellation of
+// the underlying simplex iteration.
+func SolveResourceLPCtx(ctx context.Context, ex *core.Expanded, target int64) (*Relaxation, error) {
+	return solveRelaxation(ctx, ex, -1, float64(target))
+}
+
+func solveRelaxation(ctx context.Context, ex *core.Expanded, budget, target float64) (*Relaxation, error) {
 	g := ex.G
 	m, n := g.NumEdges(), g.NumNodes()
 	// Variables: [0, m) flows, [m, m+n) event times.
@@ -137,7 +150,7 @@ func solveRelaxation(ex *core.Expanded, budget, target float64) (*Relaxation, er
 		return nil, fmt.Errorf("approx: neither budget nor target given")
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

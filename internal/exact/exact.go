@@ -22,6 +22,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,17 +41,27 @@ type Options struct {
 // Stats reports how the search went.
 type Stats struct {
 	Nodes    int  // search nodes expanded
-	Complete bool // false if MaxNodes was exhausted (result may be suboptimal)
+	Complete bool // false if MaxNodes was exhausted or the context fired (result may be suboptimal)
+	// Interrupted carries the context error when the search was stopped
+	// by cancellation or a deadline; the best solution found so far (if
+	// any) is still returned, so callers get a usable partial result.
+	Interrupted error
 }
 
 // ErrNoSolution is returned by MinResource when no assignment meets the
 // makespan target even with unlimited resources.
 var ErrNoSolution = errors.New("exact: no solution meets the target")
 
+// ErrTruncated is returned when the search ran out of its node budget
+// before finding any solution: unlike ErrNoSolution it asserts nothing
+// about feasibility, only that the answer is unknown at this MaxNodes.
+var ErrTruncated = errors.New("exact: node budget exhausted before any solution was found (feasibility unknown)")
+
 const defaultMaxNodes = 1 << 20
 
 type searcher struct {
 	inst     *core.Instance
+	ctx      context.Context
 	tuples   [][]duration.Tuple
 	minTimes []int64
 
@@ -69,15 +80,17 @@ type searcher struct {
 	bestFlow []int64
 	found    bool
 
-	nodes    int
-	maxNodes int
-	stopped  bool
-	done     bool
+	nodes       int
+	maxNodes    int
+	stopped     bool
+	done        bool
+	interrupted error
 }
 
-func newSearcher(inst *core.Instance, opts *Options) *searcher {
+func newSearcher(ctx context.Context, inst *core.Instance, opts *Options) *searcher {
 	s := &searcher{
 		inst:     inst,
+		ctx:      ctx,
 		level:    make([]int, inst.G.NumEdges()),
 		frozen:   make([]bool, inst.G.NumEdges()),
 		budget:   -1,
@@ -138,6 +151,16 @@ func (s *searcher) recurse() {
 	if s.nodes > s.maxNodes {
 		s.stopped = true
 		return
+	}
+	// Cancellation check: one ctx.Err() per node is cheap next to the
+	// min-flow each node computes, and keeps interruption latency at a
+	// single node expansion.
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.interrupted = err
+			s.stopped = true
+			return
+		}
 	}
 
 	res, err := flow.MinFlow(s.inst.G, s.lowerBounds(), s.inst.Source, s.inst.Sink)
@@ -222,8 +245,14 @@ func (s *searcher) recurse() {
 }
 
 func (s *searcher) solution() (core.Solution, Stats, error) {
-	stats := Stats{Nodes: s.nodes, Complete: !s.stopped}
+	stats := Stats{Nodes: s.nodes, Complete: !s.stopped, Interrupted: s.interrupted}
 	if !s.found {
+		switch {
+		case s.interrupted != nil:
+			return core.Solution{}, stats, s.interrupted
+		case s.stopped:
+			return core.Solution{}, stats, ErrTruncated
+		}
 		return core.Solution{}, stats, ErrNoSolution
 	}
 	sol, err := s.inst.NewSolution(s.bestFlow)
@@ -236,10 +265,19 @@ func (s *searcher) solution() (core.Solution, Stats, error) {
 // MinMakespan finds an optimal flow of value at most budget minimizing the
 // makespan.
 func MinMakespan(inst *core.Instance, budget int64, opts *Options) (core.Solution, Stats, error) {
+	return MinMakespanCtx(context.Background(), inst, budget, opts)
+}
+
+// MinMakespanCtx is MinMakespan with cooperative cancellation: when ctx is
+// canceled or its deadline fires, the search stops after the current node
+// and the best solution found so far is returned with
+// Stats{Complete: false, Interrupted: ctx.Err()}.  If no solution was
+// found yet, the context error itself is returned.
+func MinMakespanCtx(ctx context.Context, inst *core.Instance, budget int64, opts *Options) (core.Solution, Stats, error) {
 	if budget < 0 {
 		return core.Solution{}, Stats{}, fmt.Errorf("exact: negative budget %d", budget)
 	}
-	s := newSearcher(inst, opts)
+	s := newSearcher(ctx, inst, opts)
 	s.budget = budget
 	s.minimizeResource = false
 	s.recurse()
@@ -249,10 +287,16 @@ func MinMakespan(inst *core.Instance, budget int64, opts *Options) (core.Solutio
 // MinResource finds a flow of minimum value whose makespan is at most
 // target.  It returns ErrNoSolution if the target is unreachable.
 func MinResource(inst *core.Instance, target int64, opts *Options) (core.Solution, Stats, error) {
+	return MinResourceCtx(context.Background(), inst, target, opts)
+}
+
+// MinResourceCtx is MinResource with cooperative cancellation; see
+// MinMakespanCtx for the interruption contract.
+func MinResourceCtx(ctx context.Context, inst *core.Instance, target int64, opts *Options) (core.Solution, Stats, error) {
 	if target < inst.MakespanLowerBound() {
 		return core.Solution{}, Stats{Complete: true}, ErrNoSolution
 	}
-	s := newSearcher(inst, opts)
+	s := newSearcher(ctx, inst, opts)
 	s.target = target
 	s.minimizeResource = true
 	s.recurse()
@@ -262,16 +306,23 @@ func MinResource(inst *core.Instance, target int64, opts *Options) (core.Solutio
 // Feasible decides whether some flow of value at most budget achieves
 // makespan at most target; when it does, a witness solution is returned.
 func Feasible(inst *core.Instance, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
+	return FeasibleCtx(context.Background(), inst, budget, target, opts)
+}
+
+// FeasibleCtx is Feasible with cooperative cancellation; an interrupted
+// run reports infeasible with Stats.Interrupted set, so callers must
+// treat the answer as "not proven feasible" rather than "infeasible".
+func FeasibleCtx(ctx context.Context, inst *core.Instance, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
 	if target < inst.MakespanLowerBound() {
 		return false, core.Solution{}, Stats{Complete: true}, nil
 	}
-	s := newSearcher(inst, opts)
+	s := newSearcher(ctx, inst, opts)
 	s.target = target
 	s.budget = budget
 	s.minimizeResource = true
 	s.stopAt = budget
 	s.recurse()
-	stats := Stats{Nodes: s.nodes, Complete: !s.stopped}
+	stats := Stats{Nodes: s.nodes, Complete: !s.stopped, Interrupted: s.interrupted}
 	if !s.found || s.bestVal > budget {
 		return false, core.Solution{}, stats, nil
 	}

@@ -14,6 +14,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -115,6 +116,13 @@ func maxPivots(m, n int) int { return 200 * (m + n + 10) }
 
 // Solve runs two-phase simplex and returns the solution.
 func (p *Problem) Solve() (Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cooperative cancellation: the pivot loop polls
+// ctx periodically and aborts with ctx.Err() when it is done, so
+// long-running relaxations become interruptible and deadline-bounded.
+func (p *Problem) SolveCtx(ctx context.Context) (Solution, error) {
 	m := len(p.rows)
 	// Column layout: [0,n) structural, [n, n+slack) slack/surplus,
 	// [n+slack, total) artificial.
@@ -185,7 +193,7 @@ func (p *Problem) Solve() (Solution, error) {
 	}
 	artStart := p.n + nSlack
 
-	s := &simplex{tab: tab, basis: basis, nCols: nCols}
+	s := &simplex{tab: tab, basis: basis, nCols: nCols, ctx: ctx}
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
@@ -252,6 +260,7 @@ type simplex struct {
 	nCols     int
 	forbidden int // columns >= forbidden may not enter (0 = none forbidden)
 	z         []float64
+	ctx       context.Context
 }
 
 // run minimizes obj over the current tableau.  maxIter < 0 uses the default
@@ -278,6 +287,11 @@ func (s *simplex) run(obj []float64, maxIter int) (float64, error) {
 	s.z = z
 	blandAfter := maxIter / 2
 	for iter := 0; iter < maxIter; iter++ {
+		if s.ctx != nil && iter&63 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		col := s.chooseEntering(iter >= blandAfter)
 		if col < 0 {
 			return -z[nCols], nil

@@ -76,6 +76,9 @@ func TestN3DMWitnessAchievesTarget(t *testing.T) {
 // TestN3DMEquivalence machine-verifies Lemma A.1 at n=2: budget n^2
 // reaches makespan 2M+T iff the 3DM instance is solvable.
 func TestN3DMEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ~26s hardness-construction search in -short mode")
+	}
 	cases := []struct {
 		name string
 		p    N3DM

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/sp"
+)
+
+// Auto-dispatch thresholds.
+const (
+	// autoSPCost caps m*(B+1)^2, the series-parallel DP work, before auto
+	// prefers an approximation over the exact DP.
+	autoSPCost = int64(1) << 26
+	// autoSPMaxBudget is sqrt(autoSPCost): any larger budget exceeds
+	// autoSPCost on its own, and squaring it first could overflow int64.
+	autoSPMaxBudget = int64(1) << 13
+	// autoExactSpace caps the tuple-assignment search space before auto
+	// considers an instance small enough for branch-and-bound.
+	autoExactSpace = int64(1) << 20
+	// autoExactNodes is the node budget auto gives the exact search, so a
+	// misjudged instance degrades to a truncated (but reported) search
+	// instead of hanging.
+	autoExactNodes = 1 << 18
+)
+
+// autoSolver is the portfolio solver: it inspects the instance and routes
+// to the registered solver whose guarantee applies, recording the
+// decision in Report.Routing.
+type autoSolver struct{}
+
+func newAutoSolver() Solver { return autoSolver{} }
+
+func (autoSolver) Name() string { return "auto" }
+
+func (autoSolver) Capabilities() Caps {
+	return Caps{Budget: true, Target: true,
+		Guarantee: "inherited from the routed solver"}
+}
+
+// route picks the solver name for the instance and explains why.  The
+// rules, in order: a series-parallel DAG with affordable DP cost goes to
+// the exact spdp; a recognized k-way or recursive-binary duration class
+// goes to the matching approximation (budget mode only - those solvers
+// have no min-resource variant); a small assignment space goes to exact
+// branch-and-bound under a node budget; everything else takes the
+// general bi-criteria rounding.
+func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, opts Options) {
+	obj := o.Objective()
+	if tree, leafArc, ok := sp.RecognizeMap(inst); ok {
+		b := o.Budget
+		if obj == MinResource {
+			b = inst.MaxUsefulBudget()
+		}
+		if bp := b + 1; bp <= autoSPMaxBudget {
+			if cost := int64(tree.Nodes()) * bp * bp; cost <= autoSPCost {
+				// Hand the recognized decomposition to spdp so it does
+				// not repeat the reduction.
+				o.spTree, o.spLeafArc = tree, leafArc
+				return "spdp", fmt.Sprintf("series-parallel DAG (%d jobs, DP cost %d)", tree.Leaves(), cost), o
+			}
+		}
+	}
+	if obj == MinMakespan {
+		switch class := duration.Classify(inst.Fns); class {
+		case duration.KindKWay:
+			return "kway5", "all jobs k-way splitting (Eq 2)", o
+		case duration.KindBinary:
+			return "binary4", "all jobs recursive binary splitting (Eq 3)", o
+		}
+	}
+	if space := assignmentSpace(inst); space <= autoExactSpace {
+		if o.MaxNodes == 0 {
+			o.MaxNodes = autoExactNodes
+		}
+		return "exact", fmt.Sprintf("small instance (assignment space %d)", space), o
+	}
+	if obj == MinResource {
+		return "bicriteria-resource", "general step functions, large instance", o
+	}
+	return "bicriteria", "general step functions, large instance", o
+}
+
+func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+	name, reason, routed := a.route(inst, o)
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Solve(ctx, inst, routed)
+	if rep != nil {
+		rep.Routing = fmt.Sprintf("auto -> %s: %s", name, reason)
+	}
+	return rep, err
+}
+
+// assignmentSpace is the product of per-arc breakpoint counts - the size
+// of the exact search's tuple-assignment space - saturating at one past
+// autoExactSpace.
+func assignmentSpace(inst *core.Instance) int64 {
+	space := int64(1)
+	for _, fn := range inst.Fns {
+		space *= int64(len(fn.Tuples()))
+		if space > autoExactSpace {
+			return autoExactSpace + 1
+		}
+	}
+	return space
+}

@@ -1,0 +1,187 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/exact"
+	"repro/internal/sp"
+)
+
+// ErrNotSeriesParallel is returned by the spdp solver when the instance's
+// DAG is not two-terminal series-parallel.
+var ErrNotSeriesParallel = errors.New("solver: instance is not two-terminal series-parallel")
+
+// funcSolver adapts a solve function plus static metadata to the Solver
+// interface; all built-ins are funcSolvers.
+type funcSolver struct {
+	name  string
+	caps  Caps
+	solve func(ctx context.Context, inst *core.Instance, o Options) (*Report, error)
+}
+
+func (f *funcSolver) Name() string       { return f.name }
+func (f *funcSolver) Capabilities() Caps { return f.caps }
+func (f *funcSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+	rep, err := f.solve(ctx, inst, o)
+	if rep != nil {
+		rep.Solver = f.name
+		rep.Objective = o.Objective()
+		if rep.Guarantee == "" {
+			rep.Guarantee = f.caps.Guarantee
+		}
+	}
+	return rep, err
+}
+
+func init() {
+	Register(&funcSolver{
+		name: "exact",
+		caps: Caps{Budget: true, Target: true, Exact: true,
+			Guarantee: "optimal when the search completes"},
+		solve: solveExact,
+	})
+	Register(&funcSolver{
+		name: "bicriteria",
+		caps: Caps{Budget: true,
+			Guarantee: "makespan <= OPT/alpha using <= B/(1-alpha) resources (Thm 3.4)"},
+		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			return fromApprox(approx.BiCriteriaCtx(ctx, inst, o.Budget, o.Alpha))
+		},
+	})
+	Register(&funcSolver{
+		name: "bicriteria-resource",
+		caps: Caps{Target: true,
+			Guarantee: "resources <= OPT/(1-alpha) reaching makespan <= T/alpha (Thm 3.4)"},
+		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			return fromApprox(approx.BiCriteriaResourceCtx(ctx, inst, o.Target, o.Alpha))
+		},
+	})
+	Register(&funcSolver{
+		name: "kway5",
+		caps: Caps{Budget: true, Classes: []string{duration.KindKWay},
+			Guarantee: "makespan <= 5 OPT within budget (Thm 3.9)"},
+		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			return fromApprox(approx.KWay5Ctx(ctx, inst, o.Budget))
+		},
+	})
+	Register(&funcSolver{
+		name: "binary4",
+		caps: Caps{Budget: true, Classes: []string{duration.KindBinary},
+			Guarantee: "makespan <= 4 OPT within budget (Thm 3.10)"},
+		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			return fromApprox(approx.Binary4Ctx(ctx, inst, o.Budget))
+		},
+	})
+	Register(&funcSolver{
+		name: "binarybi",
+		caps: Caps{Budget: true, Classes: []string{duration.KindBinary},
+			Guarantee: "makespan <= 14/5 OPT using <= 4B/3 resources (Thm 3.16)"},
+		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			return fromApprox(approx.BinaryBiCriteriaCtx(ctx, inst, o.Budget))
+		},
+	})
+	Register(&funcSolver{
+		name: "spdp",
+		caps: Caps{Budget: true, Target: true, Exact: true, SeriesParallelOnly: true,
+			Guarantee: "optimal on series-parallel DAGs (Sec 3.4 DP)"},
+		solve: solveSPDP,
+	})
+	Register(newAutoSolver())
+}
+
+// fromApprox converts an approximation Result into a Report.
+func fromApprox(res *approx.Result, err error) (*Report, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Sol: res.Sol, LowerBound: res.LPObjective, Complete: true}, nil
+}
+
+// solveExact runs the branch-and-bound search in either mode.  On context
+// cancellation with a solution already in hand, the partial Report is
+// returned together with the context error.
+func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+	eopts := &exact.Options{MaxNodes: o.MaxNodes}
+	var (
+		sol   core.Solution
+		stats exact.Stats
+		err   error
+	)
+	if o.Objective() == MinResource {
+		sol, stats, err = exact.MinResourceCtx(ctx, inst, o.Target, eopts)
+	} else {
+		sol, stats, err = exact.MinMakespanCtx(ctx, inst, o.Budget, eopts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Sol:      sol,
+		Exact:    stats.Complete,
+		Complete: stats.Complete,
+		Nodes:    stats.Nodes,
+	}
+	if stats.Complete {
+		if o.Objective() == MinResource {
+			rep.LowerBound = float64(sol.Value)
+		} else {
+			rep.LowerBound = float64(sol.Makespan)
+		}
+	} else if o.Objective() == MinMakespan {
+		rep.LowerBound = float64(inst.MakespanLowerBound())
+	}
+	if stats.Interrupted != nil {
+		return rep, stats.Interrupted
+	}
+	return rep, nil
+}
+
+// solveSPDP recognizes the instance as series-parallel, runs the
+// pseudo-polynomial DP, and materializes the optimal table entry as a
+// validated flow on the original instance.
+func solveSPDP(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+	tree, leafArc := o.spTree, o.spLeafArc
+	if tree == nil {
+		var ok bool
+		tree, leafArc, ok = sp.RecognizeMap(inst)
+		if !ok {
+			return nil, ErrNotSeriesParallel
+		}
+	}
+	solveTo := o.Budget
+	if o.Objective() == MinResource {
+		solveTo = inst.MaxUsefulBudget()
+	}
+	tables, err := sp.SolveCtx(ctx, tree, solveTo)
+	if err != nil {
+		return nil, err
+	}
+	use := solveTo
+	if o.Objective() == MinResource {
+		l, ok := tables.MinResource(o.Target)
+		if !ok {
+			return nil, fmt.Errorf("solver: spdp: makespan target %d unreachable even with %d units", o.Target, solveTo)
+		}
+		use = l
+	}
+	f, err := tables.Flow(inst, leafArc, use)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := inst.NewSolution(f)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Sol: sol, Exact: true, Complete: true}
+	if o.Objective() == MinResource {
+		rep.LowerBound = float64(sol.Value)
+	} else {
+		rep.LowerBound = float64(sol.Makespan)
+	}
+	return rep, nil
+}

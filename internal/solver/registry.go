@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps solver names to implementations.  Built-in solvers
+// register at init; callers may add their own with Register, following
+// the registered-function pattern of pluggable-engine systems.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds s under s.Name().  It panics on an empty name or a
+// duplicate registration: both are programming errors that must surface
+// at init time, not at first dispatch.
+func Register(s Solver) {
+	name := s.Name()
+	if name == "" {
+		panic("solver: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: Register called twice for %q", name))
+	}
+	registry[name] = s
+}
+
+// Get resolves a solver by name; the error lists the known names.
+func Get(name string) (Solver, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (registered: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// List returns all registered solvers sorted by name.
+func List() []Solver {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Solver, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted registered solver names.
+func Names() []string {
+	solvers := List()
+	names := make([]string, len(solvers))
+	for i, s := range solvers {
+		names[i] = s.Name()
+	}
+	return names
+}

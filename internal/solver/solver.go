@@ -1,0 +1,282 @@
+// Package solver defines the unified solve API over the algorithms of
+// Das et al. (SPAA 2019): a Solver interface with declarative
+// capabilities, functional options, a named registry, and a structured
+// Report, so that commands, benchmarks and library callers dispatch
+// through one surface instead of hand-rolled per-algorithm switches.
+//
+// The built-in solvers (registered at init) are:
+//
+//	exact               branch-and-bound optimum (budget and target modes)
+//	bicriteria          (1/a, 1/(1-a)) bi-criteria LP rounding, Thm 3.4
+//	bicriteria-resource its minimum-resource twin
+//	kway5               5-approximation for k-way splitting, Thm 3.9
+//	binary4             4-approximation for recursive binary, Thm 3.10
+//	binarybi            (4/3, 14/5) bi-criteria for recursive binary, Thm 3.16
+//	spdp                exact O(m B^2) DP on series-parallel DAGs, Sec 3.4
+//	auto                portfolio: inspects the instance and routes to the
+//	                    solver above whose guarantee applies
+//
+// All solvers accept a context.Context; the exact search and the LP
+// relaxations poll it cooperatively, so long solves are interruptible and
+// deadline-bounded (WithDeadline).  On interruption Solve may return a
+// non-nil partial Report together with the context error.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/sp"
+)
+
+// Objective distinguishes the two optimization directions of the paper.
+type Objective int
+
+// Objectives.
+const (
+	// MinMakespan minimizes makespan under a resource budget.
+	MinMakespan Objective = iota
+	// MinResource minimizes resource usage under a makespan target.
+	MinResource
+)
+
+func (o Objective) String() string {
+	if o == MinResource {
+		return "min-resource"
+	}
+	return "min-makespan"
+}
+
+// Caps declares what an individual solver supports, so dispatch errors
+// surface before any work starts instead of as silent fallthroughs.
+type Caps struct {
+	// Budget: supports min-makespan mode (a resource budget).
+	Budget bool
+	// Target: supports min-resource mode (a makespan target).
+	Target bool
+	// Exact: the solution is optimal when the run completes.
+	Exact bool
+	// SeriesParallelOnly: requires a two-terminal series-parallel DAG.
+	SeriesParallelOnly bool
+	// Classes lists the duration-function kinds (duration.Kind*) whose
+	// approximation guarantee the solver carries; nil means any
+	// non-increasing step function.
+	Classes []string
+	// Guarantee describes the proven bound in human-readable form.
+	Guarantee string
+}
+
+// Supports reports whether the solver handles the given objective.
+func (c Caps) Supports(obj Objective) bool {
+	if obj == MinResource {
+		return c.Target
+	}
+	return c.Budget
+}
+
+// SupportsClass reports whether the solver's guarantee covers the given
+// duration class kind.  Constant functions belong to every class.
+func (c Caps) SupportsClass(kind string) bool {
+	if c.Classes == nil || kind == duration.KindConst {
+		return true
+	}
+	for _, k := range c.Classes {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Options carries the resolved knobs of one solve call.  Build it with
+// the With* functional options; the zero value is not valid (use
+// NewOptions or Solve).
+type Options struct {
+	// Budget is the resource budget; >= 0 selects min-makespan mode.
+	Budget int64
+	// Target is the makespan target; >= 0 selects min-resource mode.
+	Target int64
+	// Alpha is the bi-criteria rounding parameter in (0,1).
+	Alpha float64
+	// MaxNodes caps the exact search; 0 uses the search's default.
+	MaxNodes int
+	// Deadline bounds the wall time; zero means none.  Solve derives a
+	// context deadline from it.
+	Deadline time.Time
+
+	// spTree and spLeafArc carry an already-recognized series-parallel
+	// decomposition from the auto router to the spdp solver, saving a
+	// second recognition pass.  Unexported: an internal hint, not API.
+	spTree    *sp.Tree
+	spLeafArc map[*sp.Tree]int
+}
+
+// Objective returns the optimization direction the options select.
+func (o Options) Objective() Objective {
+	if o.Target >= 0 {
+		return MinResource
+	}
+	return MinMakespan
+}
+
+// Option mutates Options; pass them to Solve or NewOptions.
+type Option func(*Options)
+
+// WithBudget selects min-makespan mode under a resource budget.
+func WithBudget(b int64) Option { return func(o *Options) { o.Budget = b } }
+
+// WithTarget selects min-resource mode under a makespan target.
+func WithTarget(t int64) Option { return func(o *Options) { o.Target = t } }
+
+// WithAlpha sets the bi-criteria rounding parameter (default 0.5).
+func WithAlpha(a float64) Option { return func(o *Options) { o.Alpha = a } }
+
+// WithMaxNodes caps the exact branch-and-bound search.
+func WithMaxNodes(n int) Option { return func(o *Options) { o.MaxNodes = n } }
+
+// WithDeadline bounds the solve's wall time via a context deadline.
+func WithDeadline(d time.Time) Option { return func(o *Options) { o.Deadline = d } }
+
+// NewOptions resolves functional options onto the defaults
+// (no budget, no target, alpha 1/2, unlimited nodes, no deadline).
+func NewOptions(opts ...Option) Options {
+	o := Options{Budget: -1, Target: -1, Alpha: 0.5}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Report is the structured outcome of one solve.
+type Report struct {
+	// Solver is the name of the solver that produced the solution.
+	Solver string
+	// Routing records a portfolio solver's dispatch decision; empty for
+	// direct solves.
+	Routing string
+	// Objective is the optimization direction that was run.
+	Objective Objective
+	// Sol is the integral solution on the instance.
+	Sol core.Solution
+	// LowerBound bounds the optimum from below (LP optimum for the
+	// approximation algorithms, the solution's own metric for complete
+	// exact runs); 0 when no bound is available.
+	LowerBound float64
+	// Guarantee is the proven approximation bound that applies.
+	Guarantee string
+	// Exact reports that the solution is optimal (requires Complete).
+	Exact bool
+	// Complete is false when the search was truncated by MaxNodes or by
+	// context cancellation; the solution is then best-so-far.
+	Complete bool
+	// Nodes counts exact-search nodes expanded (0 for LP solvers).
+	Nodes int
+	// Wall is the measured wall-clock solve time.
+	Wall time.Duration
+}
+
+// String renders the report compactly for logs and CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: makespan %d, resources %d", r.Solver, r.Sol.Makespan, r.Sol.Value)
+	if r.Exact && r.Complete {
+		b.WriteString(" (optimal)")
+	} else if r.LowerBound > 0 {
+		fmt.Fprintf(&b, " (lower bound %.2f)", r.LowerBound)
+	}
+	if !r.Complete {
+		b.WriteString(" [incomplete]")
+	}
+	if r.Routing != "" {
+		fmt.Fprintf(&b, " via %s", r.Routing)
+	}
+	fmt.Fprintf(&b, " in %v", r.Wall)
+	return b.String()
+}
+
+// Solver is one algorithm behind the unified API.
+type Solver interface {
+	// Name is the registry key.
+	Name() string
+	// Capabilities declares the supported modes and duration classes.
+	Capabilities() Caps
+	// Solve runs the algorithm.  Implementations poll ctx cooperatively;
+	// an interrupted run may return a non-nil partial Report (best
+	// solution so far, Complete=false) together with ctx's error.
+	Solve(ctx context.Context, inst *core.Instance, opts Options) (*Report, error)
+}
+
+// Solve resolves name in the registry, validates the options against the
+// solver's capabilities, applies the deadline, runs the solver and stamps
+// the wall time.  It is the single entry point commands and examples use.
+func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option) (*Report, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	o := NewOptions(opts...)
+	if err := checkOptions(s, o); err != nil {
+		return nil, err
+	}
+	if !o.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, o.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	rep, err := s.Solve(ctx, inst, o)
+	if rep != nil {
+		rep.Wall = time.Since(start)
+		if rep.Solver == "" {
+			rep.Solver = s.Name()
+		}
+		// A class-restricted solver still runs on out-of-class instances
+		// (the rounding pipeline is well-defined on any step function),
+		// but its proven bound does not apply - say so in the Report
+		// rather than advertising a guarantee that does not hold.
+		if caps := s.Capabilities(); caps.Classes != nil {
+			if class := duration.Classify(inst.Fns); !caps.SupportsClass(class) {
+				rep.Guarantee = fmt.Sprintf("none: duration class %q is outside this solver's classes %v", class, caps.Classes)
+			}
+		}
+	}
+	return rep, err
+}
+
+// checkOptions rejects option/capability mismatches up front with an
+// actionable error.
+func checkOptions(s Solver, o Options) error {
+	caps := s.Capabilities()
+	switch {
+	case o.Budget >= 0 && o.Target >= 0:
+		return fmt.Errorf("solver: exactly one of budget and target must be set (got budget %d and target %d)", o.Budget, o.Target)
+	case o.Budget < 0 && o.Target < 0:
+		return fmt.Errorf("solver: one of budget and target is required")
+	}
+	obj := o.Objective()
+	if !caps.Supports(obj) {
+		other := MinMakespan
+		if obj == MinMakespan {
+			other = MinResource
+		}
+		return fmt.Errorf("solver: %q does not support %v mode, only %v (solvers supporting %v: %s)",
+			s.Name(), obj, other, obj, strings.Join(namesSupporting(obj), ", "))
+	}
+	return nil
+}
+
+// namesSupporting lists registered solvers that handle obj, for error
+// messages.
+func namesSupporting(obj Objective) []string {
+	var names []string
+	for _, s := range List() {
+		if s.Capabilities().Supports(obj) {
+			names = append(names, s.Name())
+		}
+	}
+	return names
+}

@@ -12,15 +12,27 @@ import (
 // a single source-sink arc remains (series-parallel) or no reduction
 // applies (not series-parallel).
 func Recognize(inst *core.Instance) (*Tree, bool) {
+	t, _, ok := RecognizeMap(inst)
+	return t, ok
+}
+
+// RecognizeMap is Recognize returning, in addition, the map from each
+// decomposition-tree leaf to the arc ID it came from, in the form
+// Tables.Flow expects - so a DP solution over the recognized tree can be
+// materialized as a validated flow on the original instance.
+func RecognizeMap(inst *core.Instance) (*Tree, map[*Tree]int, bool) {
 	type arc struct {
 		from, to int
 		tree     *Tree
 	}
+	leafArc := make(map[*Tree]int, inst.G.NumEdges())
 	// Work on a mutable arc list; node degrees are tracked as counts.
 	arcs := make([]*arc, 0, inst.G.NumEdges())
 	for e := 0; e < inst.G.NumEdges(); e++ {
 		ed := inst.G.Edge(e)
-		arcs = append(arcs, &arc{from: ed.From, to: ed.To, tree: Leaf(inst.Fns[e])})
+		leaf := Leaf(inst.Fns[e])
+		leafArc[leaf] = e
+		arcs = append(arcs, &arc{from: ed.From, to: ed.To, tree: leaf})
 	}
 	s, t := inst.Source, inst.Sink
 
@@ -31,7 +43,7 @@ func Recognize(inst *core.Instance) (*Tree, bool) {
 
 	for {
 		if len(arcs) == 1 && arcs[0].from == s && arcs[0].to == t {
-			return arcs[0].tree, true
+			return arcs[0].tree, leafArc, true
 		}
 		changed := false
 
@@ -78,7 +90,7 @@ func Recognize(inst *core.Instance) (*Tree, bool) {
 			break
 		}
 		if !changed {
-			return nil, false
+			return nil, nil, false
 		}
 	}
 }

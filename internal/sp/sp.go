@@ -18,6 +18,7 @@
 package sp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -141,6 +142,13 @@ type Tables struct {
 // Solve runs the Section 3.4 dynamic program up to the given budget and
 // returns the filled tables.
 func Solve(t *Tree, budget int64) (*Tables, error) {
+	return SolveCtx(context.Background(), t, budget)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the table fill polls
+// ctx between rows, so large-budget DPs are interruptible and
+// deadline-bounded.
+func SolveCtx(ctx context.Context, t *Tree, budget int64) (*Tables, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,11 +156,16 @@ func Solve(t *Tree, budget int64) (*Tables, error) {
 		return nil, fmt.Errorf("sp: negative budget %d", budget)
 	}
 	tb := &Tables{Root: t, Budget: budget, table: make(map[*Tree][]int64)}
-	tb.fill(t)
+	if _, err := tb.fill(ctx, t); err != nil {
+		return nil, err
+	}
 	return tb, nil
 }
 
-func (tb *Tables) fill(t *Tree) []int64 {
+func (tb *Tables) fill(ctx context.Context, t *Tree) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	row := make([]int64, tb.Budget+1)
 	switch t.Kind {
 	case LeafKind:
@@ -160,13 +173,34 @@ func (tb *Tables) fill(t *Tree) []int64 {
 			row[l] = t.Fn.Eval(l)
 		}
 	case SeriesKind:
-		a, b := tb.fill(t.L), tb.fill(t.R)
+		a, err := tb.fill(ctx, t.L)
+		if err != nil {
+			return nil, err
+		}
+		b, err := tb.fill(ctx, t.R)
+		if err != nil {
+			return nil, err
+		}
 		for l := range row {
 			row[l] = a[l] + b[l]
 		}
 	case ParallelKind:
-		a, b := tb.fill(t.L), tb.fill(t.R)
+		a, err := tb.fill(ctx, t.L)
+		if err != nil {
+			return nil, err
+		}
+		b, err := tb.fill(ctx, t.R)
+		if err != nil {
+			return nil, err
+		}
 		for l := int64(0); l <= tb.Budget; l++ {
+			// The split scan is the DP's quadratic part; poll between
+			// rows so a deadline interrupts within O(budget) work.
+			if l&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			best := int64(1) << 62
 			for i := int64(0); i <= l; i++ {
 				m := a[i]
@@ -181,7 +215,7 @@ func (tb *Tables) fill(t *Tree) []int64 {
 		}
 	}
 	tb.table[t] = row
-	return row
+	return row, nil
 }
 
 // Makespan returns T(root, l): the optimal makespan with l units.

@@ -9,10 +9,29 @@
 // with non-increasing duration functions; a solution routes integral
 // resource units along source-to-sink paths (each unit serves every arc
 // it traverses - "reuse over paths"), and the makespan is the longest
-// path under the resulting durations.  The package exposes:
+// path under the resulting durations.
+//
+// # The Solver API
+//
+// All algorithms sit behind one registry of named solvers.  The usual
+// entry point is Solve:
+//
+//	rep, err := rtt.Solve(ctx, "auto", inst, rtt.WithBudget(8))
+//
+// which dispatches by name ("exact", "bicriteria", "bicriteria-resource",
+// "kway5", "binary4", "binarybi", "spdp", or the portfolio "auto" that
+// inspects the instance and routes to the solver whose guarantee
+// applies), runs it under ctx - the exact search and the LP relaxations
+// poll the context, so WithDeadline bounds the solve - and returns a
+// structured Report (solution, lower bound, guarantee, node count, wall
+// time, and auto's routing decision).  GetSolver and Solvers expose the
+// registry directly; RegisterSolver accepts custom implementations.
+//
+// The paper's content behind the solvers:
 //
 //   - the three duration-function classes of Section 2 (general step,
-//     k-way splitting, recursive binary splitting);
+//     k-way splitting, recursive binary splitting), with structural
+//     class detection (ClassifyDurations);
 //   - the Section 3 approximation algorithms (bi-criteria LP rounding,
 //     the 5-approximation for k-way splitting, the 4-approximation and
 //     the improved (4/3, 14/5) bi-criteria for recursive binary);
@@ -31,8 +50,72 @@ import (
 	"repro/internal/duration"
 	"repro/internal/exact"
 	"repro/internal/racesim"
+	"repro/internal/solver"
 	"repro/internal/sp"
 )
+
+// Unified solver API types.
+type (
+	// Solver is one algorithm behind the unified solve API.
+	Solver = solver.Solver
+	// SolverCaps declares a solver's supported modes and classes.
+	SolverCaps = solver.Caps
+	// SolveOptions is the resolved option set of one solve call.
+	SolveOptions = solver.Options
+	// SolveOption is a functional option for Solve.
+	SolveOption = solver.Option
+	// Report is the structured outcome of one solve.
+	Report = solver.Report
+	// Objective distinguishes min-makespan from min-resource mode.
+	Objective = solver.Objective
+)
+
+// Optimization directions.
+const (
+	// MinMakespan minimizes makespan under a resource budget.
+	MinMakespan = solver.MinMakespan
+	// MinResource minimizes resource usage under a makespan target.
+	MinResource = solver.MinResource
+)
+
+// Solver registry and dispatch.
+var (
+	// Solve resolves a solver by name, validates options against its
+	// capabilities and runs it under the context.
+	Solve = solver.Solve
+	// RegisterSolver adds a custom solver to the registry.
+	RegisterSolver = solver.Register
+	// GetSolver resolves a registered solver by name.
+	GetSolver = solver.Get
+	// Solvers lists all registered solvers sorted by name.
+	Solvers = solver.List
+	// SolverNames lists the registered solver names.
+	SolverNames = solver.Names
+	// NewSolveOptions resolves functional options onto the defaults; use
+	// it when calling a Solver's Solve method directly (the zero-value
+	// SolveOptions is not valid).
+	NewSolveOptions = solver.NewOptions
+	// ErrNotSeriesParallel is returned by the spdp solver on general DAGs.
+	ErrNotSeriesParallel = solver.ErrNotSeriesParallel
+)
+
+// Functional options for Solve.
+var (
+	// WithBudget selects min-makespan mode under a resource budget.
+	WithBudget = solver.WithBudget
+	// WithTarget selects min-resource mode under a makespan target.
+	WithTarget = solver.WithTarget
+	// WithAlpha sets the bi-criteria rounding parameter (default 0.5).
+	WithAlpha = solver.WithAlpha
+	// WithMaxNodes caps the exact branch-and-bound search.
+	WithMaxNodes = solver.WithMaxNodes
+	// WithDeadline bounds the solve's wall time via a context deadline.
+	WithDeadline = solver.WithDeadline
+)
+
+// ClassifyDurations detects the duration class covering every function
+// ("binary", "kway" or "step"); the auto solver uses it for dispatch.
+var ClassifyDurations = duration.Classify
 
 // Core model types.
 type (
@@ -97,24 +180,44 @@ var NewVertexInstance = core.NewVertexInstance
 var NewRaceInstance = core.NewRaceInstance
 
 // Approximation algorithms (Section 3).
+//
+// Deprecated: dispatch through Solve with solver names "bicriteria",
+// "bicriteria-resource", "kway5", "binary4" and "binarybi" instead; the
+// registry validates capabilities and returns a structured Report.  These
+// aliases remain for callers that want the raw approx.Result.
 var (
 	// BiCriteria is the (1/alpha, 1/(1-alpha)) algorithm of Theorem 3.4.
+	//
+	// Deprecated: use Solve(ctx, "bicriteria", inst, WithBudget(b), WithAlpha(a)).
 	BiCriteria = approx.BiCriteria
 	// BiCriteriaResource is its minimum-resource twin.
+	//
+	// Deprecated: use Solve(ctx, "bicriteria-resource", inst, WithTarget(t), WithAlpha(a)).
 	BiCriteriaResource = approx.BiCriteriaResource
 	// KWay5 is the 5-approximation of Theorem 3.9.
+	//
+	// Deprecated: use Solve(ctx, "kway5", inst, WithBudget(b)).
 	KWay5 = approx.KWay5
 	// Binary4 is the 4-approximation of Theorem 3.10.
+	//
+	// Deprecated: use Solve(ctx, "binary4", inst, WithBudget(b)).
 	Binary4 = approx.Binary4
 	// BinaryBiCriteria is the (4/3, 14/5) algorithm of Theorem 3.16.
+	//
+	// Deprecated: use Solve(ctx, "binarybi", inst, WithBudget(b)).
 	BinaryBiCriteria = approx.BinaryBiCriteria
 )
 
 // Exact optimization (branch and bound; exponential worst case).
 var (
 	// ExactMinMakespan minimizes makespan under a resource budget.
+	//
+	// Deprecated: use Solve(ctx, "exact", inst, WithBudget(b)), which adds
+	// context cancellation and a structured Report.
 	ExactMinMakespan = exact.MinMakespan
 	// ExactMinResource minimizes resources under a makespan target.
+	//
+	// Deprecated: use Solve(ctx, "exact", inst, WithTarget(t)).
 	ExactMinResource = exact.MinResource
 	// ExactFeasible decides the (budget, target) decision problem.
 	ExactFeasible = exact.Feasible
@@ -126,11 +229,16 @@ var (
 	SPLeaf     = sp.Leaf
 	SPSeries   = sp.Series
 	SPParallel = sp.Parallel
-	// SPSolve runs the O(m B^2) dynamic program.
-	SPSolve = sp.Solve
+	// SPSolve runs the O(m B^2) dynamic program; SPSolveCtx is its
+	// cancellable variant.
+	SPSolve    = sp.Solve
+	SPSolveCtx = sp.SolveCtx
 	// SPRecognize extracts a decomposition tree from an instance when its
 	// DAG is two-terminal series-parallel.
 	SPRecognize = sp.Recognize
+	// SPRecognizeMap additionally returns the leaf-to-arc map used to
+	// materialize DP solutions as flows on the original instance.
+	SPRecognizeMap = sp.RecognizeMap
 )
 
 // Race simulation (Section 1).

@@ -1,0 +1,56 @@
+package rtt
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSolverFacade exercises the unified Solve API through the root
+// package: registry lookup, functional options, auto routing and the
+// structured Report.
+func TestSolverFacade(t *testing.T) {
+	if len(SolverNames()) < 8 {
+		t.Fatalf("SolverNames() = %v; want the 8 built-ins", SolverNames())
+	}
+
+	g := NewGraph()
+	s := g.AddNode("s")
+	mid := g.AddNode("m")
+	snk := g.AddNode("t")
+	g.AddEdge(s, mid)
+	g.AddEdge(mid, snk)
+	inst, err := NewInstance(g, []DurationFunc{NewKWay(36), NewKWay(25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	rep, err := Solve(ctx, "auto", inst, WithBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A two-arc chain is series-parallel, so auto must take the exact DP.
+	if rep.Solver != "spdp" || !strings.Contains(rep.Routing, "auto -> spdp") {
+		t.Fatalf("Solver = %q, Routing = %q; want spdp via auto", rep.Solver, rep.Routing)
+	}
+	ex, err := Solve(ctx, "exact", inst, WithBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sol.Makespan != ex.Sol.Makespan {
+		t.Fatalf("auto makespan %d != exact %d", rep.Sol.Makespan, ex.Sol.Makespan)
+	}
+	if rep.Wall <= 0 || !rep.Complete || !rep.Exact {
+		t.Fatalf("Report %+v: want complete exact run with wall time", rep)
+	}
+
+	// Capability mismatch surfaces as an error, not a fallthrough.
+	if _, err := Solve(ctx, "kway5", inst, WithTarget(10)); err == nil {
+		t.Fatal("kway5 with a makespan target must be rejected")
+	}
+
+	if ClassifyDurations(inst.Fns) != "kway" {
+		t.Fatalf("ClassifyDurations = %q; want kway", ClassifyDurations(inst.Fns))
+	}
+}
