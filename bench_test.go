@@ -379,3 +379,38 @@ func BenchmarkExactSolver(b *testing.B) {
 	}
 	b.ReportMetric(float64(nodes), "search_nodes")
 }
+
+// BenchmarkExactParallel measures branch-and-bound scaling across worker
+// counts on a complete ~10k-node search (a layered k-way instance).  The
+// optimum must be identical at every parallelism - the shared-incumbent
+// design guarantees value determinism - so the subbenchmarks cross-check
+// it while timing.  Expect near-linear speedup up to the physical core
+// count and a plateau beyond it; on a single-core machine all settings
+// time alike.
+func BenchmarkExactParallel(b *testing.B) {
+	inst := gen.New(13).KWayInstance(3, 4, 2, 80)
+	const budget = 10
+	want, stats, err := exact.MinMakespan(inst, budget, &exact.Options{Parallelism: 1})
+	if err != nil || !stats.Complete {
+		b.Fatalf("sequential reference failed: %v (complete=%v)", err, stats.Complete)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", par), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				sol, stats, err := exact.MinMakespan(inst, budget, &exact.Options{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !stats.Complete {
+					b.Fatal("search incomplete")
+				}
+				if sol.Makespan != want.Makespan {
+					b.Fatalf("parallelism %d: makespan %d != sequential %d", par, sol.Makespan, want.Makespan)
+				}
+				nodes = stats.Nodes
+			}
+			b.ReportMetric(float64(nodes), "search_nodes")
+		})
+	}
+}

@@ -2,10 +2,15 @@
 // measured approximation ratios behind Table 1, the gadget truth tables
 // (Tables 2 and 3), and the reducer curves of Figures 2 and 3.  Its
 // output is the source of EXPERIMENTS.md.
+//
+// -parallel sizes the worker pool of the exact-optimum searches that
+// anchor Table 1 and the hardness gaps (0 means GOMAXPROCS); the measured
+// numbers are identical at every setting, only the wall time changes.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,8 +22,11 @@ import (
 	"repro/internal/solver"
 )
 
+var parallel = flag.Int("parallel", 0, "exact-search workers (0: GOMAXPROCS, 1: sequential)")
+
 func main() {
 	log.SetFlags(0)
+	flag.Parse()
 	fig2()
 	fig3()
 	fig45()
@@ -122,7 +130,8 @@ func table1() {
 				inst = g.BinaryInstance(2, 2, 1, 30)
 			}
 			budget := int64(count%5 + 1)
-			opt, err := solver.Solve(ctx, "exact", inst, solver.WithBudget(budget))
+			opt, err := solver.Solve(ctx, "exact", inst,
+				solver.WithBudget(budget), solver.WithParallelism(*parallel))
 			if err != nil || !opt.Complete || opt.Sol.Makespan == 0 {
 				continue
 			}
@@ -203,7 +212,8 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol, err := solver.Solve(ctx, "exact", sat.Inst, solver.WithBudget(sat.Budget))
+	sol, err := solver.Solve(ctx, "exact", sat.Inst,
+		solver.WithBudget(sat.Budget), solver.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -211,7 +221,8 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok, _, _, err := exact.Feasible(unsat.Inst, unsat.Budget, 1, nil)
+	ok, _, _, err := exact.Feasible(unsat.Inst, unsat.Budget, 1,
+		&exact.Options{Parallelism: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -221,7 +232,8 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs, err := solver.Solve(ctx, "exact", gapSat.Inst, solver.WithTarget(gapSat.Target))
+	rs, err := solver.Solve(ctx, "exact", gapSat.Inst,
+		solver.WithTarget(gapSat.Target), solver.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -237,7 +249,8 @@ func gaps() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ru, err := solver.Solve(ctx, "exact", gapUnsat.Inst, solver.WithTarget(gapUnsat.Target))
+	ru, err := solver.Solve(ctx, "exact", gapUnsat.Inst,
+		solver.WithTarget(gapUnsat.Target), solver.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}

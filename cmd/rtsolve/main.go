@@ -4,7 +4,12 @@
 //	rtsolve -in instance.json -budget 8                  # auto-dispatch
 //	rtsolve -in instance.json -budget 8 -algo bicriteria [-alpha 0.5]
 //	rtsolve -in instance.json -target 20 -algo exact [-deadline 30s]
+//	rtsolve -in instance.json -budget 8 -algo exact -parallel 4
 //	rtsolve -list                                        # solver table
+//
+// -parallel sizes the exact branch-and-bound worker pool (0 means
+// GOMAXPROCS) and lets auto race exact against the bi-criteria rounding
+// on instances near the exact-search threshold.
 //
 // With -budget the makespan is minimized; with -target the resource
 // usage is minimized.  The registry rejects unsupported combinations up
@@ -35,6 +40,7 @@ func main() {
 	algo := flag.String("algo", "auto", "solver name; see -list")
 	alpha := flag.Float64("alpha", 0.5, "alpha for the bi-criteria solvers")
 	maxNodes := flag.Int("maxnodes", 0, "search-node budget for exact (0: default)")
+	parallel := flag.Int("parallel", 0, "branch-and-bound workers (0: GOMAXPROCS, 1: sequential)")
 	deadline := flag.Duration("deadline", 0, "wall-time limit (e.g. 30s; 0: none)")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
@@ -62,7 +68,11 @@ func main() {
 	fmt.Printf("instance: %d nodes, %d arcs, zero-flow makespan %d\n",
 		inst.G.NumNodes(), inst.G.NumEdges(), inst.ZeroFlowMakespan())
 
-	opts := []solver.Option{solver.WithAlpha(*alpha), solver.WithMaxNodes(*maxNodes)}
+	opts := []solver.Option{
+		solver.WithAlpha(*alpha),
+		solver.WithMaxNodes(*maxNodes),
+		solver.WithParallelism(*parallel),
+	}
 	if *budget >= 0 {
 		opts = append(opts, solver.WithBudget(*budget))
 	} else {
@@ -111,6 +121,9 @@ func listSolvers() {
 		}
 		if caps.Classes != nil {
 			notes = append(notes, "classes: "+strings.Join(caps.Classes, ","))
+		}
+		if caps.Parallel {
+			notes = append(notes, "parallel")
 		}
 		extra := ""
 		if len(notes) > 0 {

@@ -32,6 +32,31 @@ func (g *Graph) EventTimes(dur []int64) ([]int64, error) {
 	return t, nil
 }
 
+// ReverseEventTimes computes, for every node v, the longest-path distance
+// from v to the graph's sinks under the given per-edge durations (the
+// mirror of EventTimes).  In the project-network reading it is the latest
+// remaining work after event v, so EventTimes[v] + ReverseEventTimes[v]
+// is the length of the longest path through v.
+func (g *Graph) ReverseEventTimes(dur []int64) ([]int64, error) {
+	if len(dur) != len(g.edges) {
+		return nil, fmt.Errorf("dag: ReverseEventTimes got %d durations for %d edges", len(dur), len(g.edges))
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	t := make([]int64, len(g.names))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.out[v] {
+			if cand := t[g.edges[e].To] + dur[e]; cand > t[v] {
+				t[v] = cand
+			}
+		}
+	}
+	return t, nil
+}
+
 // Makespan returns the longest-path length from sources to sinks under the
 // given per-edge durations.
 func (g *Graph) Makespan(dur []int64) (int64, error) {

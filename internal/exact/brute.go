@@ -2,6 +2,7 @@ package exact
 
 import (
 	"repro/internal/core"
+	"repro/internal/flow"
 )
 
 // BruteForceMinMakespan minimizes the makespan over all integral flows of
@@ -49,6 +50,61 @@ func BruteForceMinMakespan(inst *core.Instance, budget int64, maxPaths int) (cor
 	}
 	rec(budget, 0)
 	return best, true
+}
+
+// BruteForceAssignmentsMinMakespan enumerates every tuple assignment (the
+// exact search's own space), computes each assignment's minimum flow, and
+// returns the best realized makespan among those within budget.  Every
+// integral flow induces the assignment of the breakpoints it reaches and
+// is dominated by that assignment's min-flow, so this enumeration is a
+// complete optimum oracle - independent of the branch-and-bound's
+// branching and pruning rules, which is exactly what makes it the right
+// cross-check for them.  It reports ok=false when the assignment space
+// exceeds maxAssignments.
+func BruteForceAssignmentsMinMakespan(inst *core.Instance, budget int64, maxAssignments int64) (core.Solution, bool) {
+	m := inst.G.NumEdges()
+	space := int64(1)
+	for _, fn := range inst.Fns {
+		space *= int64(len(fn.Tuples()))
+		if space > maxAssignments {
+			return core.Solution{}, false
+		}
+	}
+	level := make([]int, m)
+	lower := make([]int64, m)
+	ms := flow.NewMinFlowSolver(inst.G, inst.Source, inst.Sink)
+	best := core.Solution{Makespan: -1}
+	for {
+		for e, l := range level {
+			lower[e] = inst.Fns[e].Tuples()[l].R
+		}
+		res, err := ms.Solve(lower)
+		if err == nil && res.Value <= budget {
+			mk, err := inst.Makespan(res.EdgeFlow)
+			if err != nil {
+				panic(err)
+			}
+			if best.Makespan < 0 || mk < best.Makespan {
+				best = core.Solution{
+					Flow:     append([]int64(nil), res.EdgeFlow...),
+					Value:    res.Value,
+					Makespan: mk,
+				}
+			}
+		}
+		// Advance the mixed-radix odometer over levels.
+		e := 0
+		for ; e < m; e++ {
+			level[e]++
+			if level[e] < len(inst.Fns[e].Tuples()) {
+				break
+			}
+			level[e] = 0
+		}
+		if e == m {
+			return best, true
+		}
+	}
 }
 
 // BruteForceMinResource finds the smallest budget whose brute-force optimal

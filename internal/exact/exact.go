@@ -19,12 +19,32 @@
 // higher breakpoint; children raise each candidate arc in turn, freezing
 // the arcs tried before it (the classical hitting-set enumeration, which
 // visits every minimal repair exactly once).
+//
+// # Parallel search
+//
+// The branch-and-bound runs on a worker pool (Options.Parallelism; the
+// default is GOMAXPROCS).  The driver first expands the tree breadth-first
+// from the root until it holds a few independent subtree tasks per worker,
+// then hands the frontier to the pool.  Workers share one incumbent: the
+// best objective value lives in an atomic integer that pruning reads
+// lock-free on every node, while improvements take a mutex to install the
+// value and its witness flow together.  Node accounting, the node budget,
+// early-exit ("done") and cancellation flags are all atomics, so the
+// search is safe under the race detector and the returned *optimum value*
+// is deterministic across worker counts (the witness flow may differ when
+// several flows are optimal).  Each worker owns a flow.MinFlowSolver, so
+// the per-node min-flow reuses one transformed network instead of
+// rebuilding it from scratch.
 package exact
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/duration"
@@ -36,6 +56,11 @@ type Options struct {
 	// MaxNodes bounds the number of search nodes expanded; 0 means the
 	// default of 1<<20.  When exceeded the result carries Complete=false.
 	MaxNodes int
+	// Parallelism is the number of branch-and-bound workers: 0 uses
+	// GOMAXPROCS, 1 forces the sequential search, larger values size the
+	// worker pool.  The optimum value returned by a complete search does
+	// not depend on it.
+	Parallelism int
 }
 
 // Stats reports how the search went.
@@ -59,11 +84,14 @@ var ErrTruncated = errors.New("exact: node budget exhausted before any solution 
 
 const defaultMaxNodes = 1 << 20
 
-type searcher struct {
-	inst     *core.Instance
-	ctx      context.Context
-	tuples   [][]duration.Tuple
-	minTimes []int64
+// shared is the state all search workers see.  Immutable fields are set
+// before any worker starts; mutable fields are atomics, or are guarded by
+// mu (the incumbent witness and the first-interruption error).
+type shared struct {
+	inst   *core.Instance
+	ctx    context.Context
+	tuples [][]duration.Tuple
+	topo   []int // topological order of inst.G, computed once
 
 	budget int64 // resource cap (-1: none)
 	target int64 // makespan cap (-1: none)
@@ -73,193 +101,492 @@ type searcher struct {
 	minimizeResource bool
 	stopAt           int64 // early-exit threshold for decision runs (-1: none)
 
-	level  []int
-	frozen []bool
+	// floor is a global lower bound on the objective: in makespan mode the
+	// makespan when every arc runs at its budget-feasible fastest duration
+	// (set up front), in resource mode the min-flow value of the root
+	// assignment (set by the root visit, before workers exist).  An
+	// incumbent at the floor is provably optimal, so the search stops.
+	floor atomic.Int64
 
-	bestVal  int64
-	bestFlow []int64
-	found    bool
+	// budgetMin[e] is the fastest duration arc e can realize under any
+	// flow of value at most budget (no arc can carry more than the whole
+	// budget on a DAG); set in makespan mode only.  It feeds the subtree
+	// prune in visit.
+	budgetMin []int64
 
-	nodes       int
-	maxNodes    int
-	stopped     bool
-	done        bool
-	interrupted error
+	maxNodes int64
+	nodes    atomic.Int64
+	stopped  atomic.Bool // node budget exhausted or context fired
+	done     atomic.Bool // incumbent provably optimal (or stopAt reached)
+
+	mu          sync.Mutex
+	bestVal     atomic.Int64 // math.MaxInt64 until a solution is found
+	found       atomic.Bool
+	bestFlow    []int64 // guarded by mu
+	interrupted error   // guarded by mu
 }
 
-func newSearcher(ctx context.Context, inst *core.Instance, opts *Options) *searcher {
-	s := &searcher{
+func newShared(ctx context.Context, inst *core.Instance, opts *Options) *shared {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	topo, err := inst.G.TopoOrder()
+	if err != nil {
+		panic(err) // instance was validated
+	}
+	sh := &shared{
 		inst:     inst,
 		ctx:      ctx,
-		level:    make([]int, inst.G.NumEdges()),
-		frozen:   make([]bool, inst.G.NumEdges()),
+		topo:     topo,
 		budget:   -1,
 		target:   -1,
 		stopAt:   -1,
 		maxNodes: defaultMaxNodes,
 	}
+	sh.floor.Store(-1)
+	sh.bestVal.Store(math.MaxInt64)
 	if opts != nil && opts.MaxNodes > 0 {
-		s.maxNodes = opts.MaxNodes
+		sh.maxNodes = int64(opts.MaxNodes)
 	}
 	for e := 0; e < inst.G.NumEdges(); e++ {
-		ts := inst.Fns[e].Tuples()
-		s.tuples = append(s.tuples, ts)
-		s.minTimes = append(s.minTimes, ts[len(ts)-1].T)
+		sh.tuples = append(sh.tuples, inst.Fns[e].Tuples())
 	}
-	return s
+	return sh
 }
 
-func (s *searcher) lowerBounds() []int64 {
-	lb := make([]int64, len(s.level))
-	for e, l := range s.level {
-		lb[e] = s.tuples[e][l].R
+// record offers a feasible objective value and its witness flow as the new
+// incumbent.  It also raises the done flag when the value reaches the
+// decision threshold or the global floor, at which point no descendant
+// anywhere can do better.
+func (sh *shared) record(value int64, edgeFlow []int64) {
+	// Lock-free fast path: most visited nodes do not improve the
+	// incumbent, and a non-improving value can never newly reach the
+	// stopAt/floor thresholds (the smaller incumbent reached them first),
+	// so skipping the mutex here loses nothing.  bestVal only decreases,
+	// making a stale read conservative: it can only send us into the
+	// locked path, which re-checks.
+	if sh.found.Load() && value >= sh.bestVal.Load() {
+		return
 	}
-	return lb
+	sh.mu.Lock()
+	if !sh.found.Load() || value < sh.bestVal.Load() {
+		sh.bestFlow = append(sh.bestFlow[:0], edgeFlow...)
+		sh.bestVal.Store(value)
+		sh.found.Store(true)
+	}
+	sh.mu.Unlock()
+	if (sh.stopAt >= 0 && value <= sh.stopAt) || (sh.floor.Load() >= 0 && value <= sh.floor.Load()) {
+		sh.done.Store(true)
+	}
 }
 
-func (s *searcher) durations() []int64 {
-	d := make([]int64, len(s.level))
-	for e, l := range s.level {
-		d[e] = s.tuples[e][l].T
+func (sh *shared) setInterrupted(err error) {
+	sh.mu.Lock()
+	if sh.interrupted == nil {
+		sh.interrupted = err
 	}
-	return d
+	sh.mu.Unlock()
+	sh.stopped.Store(true)
 }
 
-// optimisticMakespan is a subtree lower bound on the makespan: frozen arcs
-// keep their current duration, all others drop to their best possible.
-func (s *searcher) optimisticMakespan() int64 {
-	d := make([]int64, len(s.level))
-	for e := range d {
-		if s.frozen[e] {
-			d[e] = s.tuples[e][s.level[e]].T
-		} else {
-			d[e] = s.minTimes[e]
+func (sh *shared) stats() Stats {
+	sh.mu.Lock()
+	interrupted := sh.interrupted
+	sh.mu.Unlock()
+	return Stats{
+		Nodes:       int(sh.nodes.Load()),
+		Complete:    !sh.stopped.Load(),
+		Interrupted: interrupted,
+	}
+}
+
+// worker is one search thread's private state: the current assignment, the
+// hitting-set freeze marks, a reusable min-flow network, and scratch
+// buffers so the hot path performs no allocation.
+type worker struct {
+	sh     *shared
+	level  []int
+	frozen []bool
+	mf     *flow.MinFlowSolver
+
+	lb    []int64 // per-arc lower bounds of the current assignment
+	durs  []int64 // per-arc assigned durations
+	rdurs []int64 // per-arc realized durations under the min-flow
+	et    []int64 // per-node event times
+	path  []int   // critical-path walk buffer
+	cand  []int   // branching candidates buffer
+
+	// candStack pins each recursion level's candidates (w.cand is
+	// overwritten by deeper visits); one backing array serves the whole
+	// search, so expansion stays allocation-free once it has grown.
+	candStack []int
+}
+
+func newWorker(sh *shared) *worker {
+	m := sh.inst.G.NumEdges()
+	return &worker{
+		sh:     sh,
+		level:  make([]int, m),
+		frozen: make([]bool, m),
+		mf:     flow.NewMinFlowSolver(sh.inst.G, sh.inst.Source, sh.inst.Sink),
+		lb:     make([]int64, m),
+		durs:   make([]int64, m),
+		rdurs:  make([]int64, m),
+		et:     make([]int64, sh.inst.G.NumNodes()),
+		path:   make([]int, 0, m),
+		cand:   make([]int, 0, m),
+	}
+}
+
+// makespan fills w.et with longest-path event times under the durations d
+// and returns the sink's time (the makespan).  It is the allocation-free
+// twin of dag.Graph.Makespan, using the shared topological order.
+func (w *worker) makespan(d []int64) int64 {
+	g := w.sh.inst.G
+	for i := range w.et {
+		w.et[i] = 0
+	}
+	for _, v := range w.sh.topo {
+		tv := w.et[v]
+		for _, e := range g.Out(v) {
+			if c := tv + d[e]; c > w.et[g.Edge(e).To] {
+				w.et[g.Edge(e).To] = c
+			}
 		}
 	}
-	m, err := s.inst.G.Makespan(d)
+	return w.et[w.sh.inst.Sink]
+}
+
+// candidates walks one critical path back from the sink (w.et must hold
+// the event times of d) and collects, in source-to-sink order, the arcs on
+// it that are neither frozen nor at their last breakpoint.
+func (w *worker) candidates(d []int64) []int {
+	g := w.sh.inst.G
+	w.path = w.path[:0]
+	v := w.sh.inst.Sink
+	for w.et[v] != 0 {
+		pick := -1
+		for _, e := range g.In(v) {
+			if w.et[g.Edge(e).From]+d[e] == w.et[v] {
+				pick = e
+				break
+			}
+		}
+		if pick == -1 {
+			panic("exact: inconsistent event times")
+		}
+		w.path = append(w.path, pick)
+		v = g.Edge(pick).From
+	}
+	w.cand = w.cand[:0]
+	for i := len(w.path) - 1; i >= 0; i-- {
+		e := w.path[i]
+		if !w.frozen[e] && w.level[e]+1 < len(w.sh.tuples[e]) {
+			w.cand = append(w.cand, e)
+		}
+	}
+	return w.cand
+}
+
+// visit expands the current node: it accounts the node, computes the
+// assignment's min-flow, applies the sound prunes, records any solution,
+// and returns the path-repair branching candidates.  ok=false means the
+// subtree is closed (pruned, solved, or the search is stopping).  The
+// returned slice aliases w.cand and is invalidated by the next visit.
+func (w *worker) visit() (candidates []int, ok bool) {
+	sh := w.sh
+	if sh.done.Load() || sh.stopped.Load() {
+		return nil, false
+	}
+	if sh.nodes.Add(1) > sh.maxNodes {
+		sh.stopped.Store(true)
+		return nil, false
+	}
+	// Cancellation check: one ctx.Err() per node is cheap next to the
+	// min-flow each node computes, and keeps interruption latency at a
+	// single node expansion.
+	if err := sh.ctx.Err(); err != nil {
+		sh.setInterrupted(err)
+		return nil, false
+	}
+
+	for e, l := range w.level {
+		w.lb[e] = sh.tuples[e][l].R
+	}
+	res, err := w.mf.Solve(w.lb)
+	if err != nil {
+		// Lower bounds on a validated instance are always feasible; treat
+		// a failure as a pruned branch but record nothing.
+		return nil, false
+	}
+	if sh.minimizeResource {
+		// The root assignment's min-flow value bounds every node's from
+		// below (lower bounds only grow down the tree), so it is the
+		// resource floor.  The root is visited first and alone, before the
+		// pool starts, which makes this CAS effectively a write-once.
+		sh.floor.CompareAndSwap(-1, res.Value)
+	}
+	if sh.budget >= 0 && res.Value > sh.budget {
+		return nil, false
+	}
+	if sh.minimizeResource && res.Value >= sh.bestVal.Load() {
+		return nil, false // resource usage only grows deeper in this subtree
+	}
+
+	for e, l := range w.level {
+		w.durs[e] = sh.tuples[e][l].T
+	}
+
+	if sh.minimizeResource {
+		if w.makespan(w.durs) <= sh.target {
+			sh.record(res.Value, res.EdgeFlow)
+			return nil, false // deeper assignments only cost more resource
+		}
+	} else {
+		// Record the realized solution: the min-flow may exceed some lower
+		// bounds, so evaluate the true durations under it.
+		for e, fn := range sh.inst.Fns {
+			w.rdurs[e] = fn.Eval(res.EdgeFlow[e])
+		}
+		sh.record(w.makespan(w.rdurs), res.EdgeFlow)
+		if sh.done.Load() {
+			return nil, false
+		}
+		// Subtree prune (audited): frozen arcs keep their assigned
+		// duration, all others drop to their budget-feasible minimum
+		// Eval(budget); prune when even that optimistic makespan cannot
+		// beat the incumbent.
+		//
+		// This bound does NOT lower-bound the realized makespans inside
+		// this subtree: a frozen arc's realized duration falls below its
+		// assigned one whenever the min-flow overshoots its requirement,
+		// which resource reuse over paths makes common.  The prune is
+		// nevertheless sound for the search as a whole, by a coverage
+		// argument: any realized flow f beating the bound must overshoot
+		// some frozen arc past its next breakpoint, so the assignment
+		// induced by f raises a frozen arc and lives in a sibling branch
+		// of the hitting-set enumeration, not here.  Concretely, let f* be
+		// an optimal flow and A* its induced assignment; on the unique
+		// branch path toward A*, frozen arcs sit exactly at A*'s levels
+		// and every arc's bound duration is at most its duration under A*
+		// (frozen: equal; others: Eval(budget) <= t_e(f*_e) since
+		// f*_e <= budget).  The bound there is therefore at most OPT, and
+		// the prune can only fire once the incumbent already equals OPT -
+		// the optimum is never lost.  The old bound dropped non-frozen
+		// arcs to their unbudgeted minima, which is the same argument with
+		// a needlessly weaker bound; the budget-feasible minima prune
+		// strictly more.  TestMinMakespanMatchesAssignmentEnumeration
+		// locks this against exhaustive assignment enumeration.
+		for e := range w.rdurs {
+			if w.frozen[e] {
+				w.rdurs[e] = sh.tuples[e][w.level[e]].T
+			} else {
+				w.rdurs[e] = sh.budgetMin[e]
+			}
+		}
+		if w.makespan(w.rdurs) >= sh.bestVal.Load() {
+			return nil, false // this subtree cannot beat the incumbent
+		}
+		w.makespan(w.durs) // refill w.et for the critical-path walk
+	}
+
+	// Path repair: raise arcs on the current critical path.
+	return w.candidates(w.durs), true
+}
+
+// expand runs the hitting-set loop over the candidates sequentially,
+// recursing into each child.
+func (w *worker) expand(candidates []int) {
+	base := len(w.candStack)
+	w.candStack = append(w.candStack, candidates...)
+	n := len(candidates)
+	for i := 0; i < n; i++ {
+		// Index through w.candStack rather than a saved sub-slice: deeper
+		// recursion may grow (and so move) the backing array.
+		e := w.candStack[base+i]
+		w.level[e]++
+		w.recurse()
+		w.level[e]--
+		if w.sh.done.Load() || w.sh.stopped.Load() {
+			break
+		}
+		w.frozen[e] = true
+	}
+	// Candidates are never frozen at entry, so unfreezing all of them
+	// (including any the early break skipped) restores the entry state.
+	for i := 0; i < n; i++ {
+		w.frozen[w.candStack[base+i]] = false
+	}
+	w.candStack = w.candStack[:base]
+}
+
+func (w *worker) recurse() {
+	if cand, ok := w.visit(); ok && len(cand) > 0 {
+		w.expand(cand)
+	}
+}
+
+// task is a frontier node: an assignment plus freeze marks whose subtree
+// is still unexplored.
+type task struct {
+	level  []int
+	frozen []bool
+}
+
+// run drives the search with the given worker-pool size.
+func (sh *shared) run(parallelism int) {
+	par := parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	root := newWorker(sh)
+	if par <= 1 {
+		root.recurse()
+		return
+	}
+
+	// Seed the pool: expand breadth-first until the frontier holds a few
+	// independent subtree tasks per worker (or the whole tree ran dry).
+	// The seeding itself is part of the search - it visits nodes and can
+	// record incumbents - so nothing is wasted if the tree is tiny.
+	cand, ok := root.visit()
+	if !ok || len(cand) == 0 {
+		return
+	}
+	seedTarget := 4 * par
+	frontier := make([]task, 0, seedTarget+len(cand))
+	pushChildren := func(w *worker, cand []int) {
+		for i, e := range cand {
+			lv := append([]int(nil), w.level...)
+			fr := append([]bool(nil), w.frozen...)
+			lv[e]++
+			for _, prev := range cand[:i] {
+				fr[prev] = true
+			}
+			frontier = append(frontier, task{lv, fr})
+		}
+	}
+	pushChildren(root, cand)
+	for len(frontier) > 0 && len(frontier) < seedTarget {
+		if sh.done.Load() || sh.stopped.Load() {
+			return
+		}
+		tk := frontier[0]
+		frontier = frontier[1:]
+		copy(root.level, tk.level)
+		copy(root.frozen, tk.frozen)
+		if c, ok := root.visit(); ok {
+			pushChildren(root, c)
+		}
+	}
+
+	if len(frontier) == 0 {
+		return // the seeding pass already explored the whole tree
+	}
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newWorker(sh)
+			for tk := range tasks {
+				copy(w.level, tk.level)
+				copy(w.frozen, tk.frozen)
+				w.recurse()
+			}
+		}()
+	}
+	for _, tk := range frontier {
+		if sh.done.Load() || sh.stopped.Load() {
+			break
+		}
+		tasks <- tk
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+func (sh *shared) solution() (core.Solution, Stats, error) {
+	stats := sh.stats()
+	if !sh.found.Load() {
+		switch {
+		case stats.Interrupted != nil:
+			return core.Solution{}, stats, stats.Interrupted
+		case !stats.Complete:
+			return core.Solution{}, stats, ErrTruncated
+		}
+		return core.Solution{}, stats, ErrNoSolution
+	}
+	sol, err := sh.inst.NewSolution(sh.bestFlow)
+	if err != nil {
+		return core.Solution{}, stats, fmt.Errorf("exact: internal solution invalid: %w", err)
+	}
+	return sol, stats, nil
+}
+
+// BudgetedMakespanLowerBound returns the makespan when every arc runs at
+// the fastest duration any flow of value at most budget can give it.  On a
+// DAG every unit of flow follows a source-to-sink path, so no arc can
+// carry more than the whole budget; the bound is therefore sound for every
+// feasible flow, and tighter than Instance.MakespanLowerBound whenever the
+// budget stops some arc short of its last breakpoint.
+func BudgetedMakespanLowerBound(inst *core.Instance, budget int64) int64 {
+	d := make([]int64, inst.G.NumEdges())
+	for e, fn := range inst.Fns {
+		d[e] = fn.Eval(budget)
+	}
+	m, err := inst.G.Makespan(d)
 	if err != nil {
 		panic(err) // instance was validated
 	}
 	return m
 }
 
-func (s *searcher) recurse() {
-	if s.done || s.stopped {
-		return
+// ResourceLowerBound returns a lower bound on the resource usage of every
+// flow whose makespan is at most target.  For each arc e, the longest
+// source-to-sink path through e with every *other* arc at its fastest
+// duration must still fit in the target, which caps e's duration and hence
+// floors its flow at the cheapest breakpoint meeting that cap; the minimum
+// flow satisfying all those per-arc floors bounds OPT from below.  With a
+// generous target every floor is the first breakpoint (R = 0) and the
+// bound degenerates to the trivial min-flow at all-minimum levels.
+func ResourceLowerBound(inst *core.Instance, target int64) int64 {
+	g := inst.G
+	m := g.NumEdges()
+	minD := make([]int64, m)
+	for e, fn := range inst.Fns {
+		minD[e] = duration.MinTime(fn)
 	}
-	s.nodes++
-	if s.nodes > s.maxNodes {
-		s.stopped = true
-		return
-	}
-	// Cancellation check: one ctx.Err() per node is cheap next to the
-	// min-flow each node computes, and keeps interruption latency at a
-	// single node expansion.
-	if s.ctx != nil {
-		if err := s.ctx.Err(); err != nil {
-			s.interrupted = err
-			s.stopped = true
-			return
-		}
-	}
-
-	res, err := flow.MinFlow(s.inst.G, s.lowerBounds(), s.inst.Source, s.inst.Sink)
+	tf, err := g.EventTimes(minD)
 	if err != nil {
-		// Lower bounds on a validated instance are always feasible; treat
-		// a failure as a pruned branch but record nothing.
-		return
+		panic(err) // instance was validated
 	}
-	if s.budget >= 0 && res.Value > s.budget {
-		return
-	}
-	if s.minimizeResource && s.found && res.Value >= s.bestVal {
-		return // resource usage only grows deeper in this subtree
-	}
-
-	d := s.durations()
-	assignMakespan, err := s.inst.G.Makespan(d)
+	tb, err := g.ReverseEventTimes(minD)
 	if err != nil {
 		panic(err)
 	}
-
-	if s.minimizeResource {
-		if assignMakespan <= s.target {
-			if !s.found || res.Value < s.bestVal {
-				s.found = true
-				s.bestVal = res.Value
-				s.bestFlow = res.EdgeFlow
-				if s.stopAt >= 0 && s.bestVal <= s.stopAt {
-					s.done = true
-				}
-			}
-			return // deeper assignments only cost more resource
-		}
-	} else {
-		// Record the realized solution: the min-flow may exceed some lower
-		// bounds, so evaluate the true durations under it.
-		realized, err := s.inst.Makespan(res.EdgeFlow)
-		if err != nil {
-			panic(err)
-		}
-		if !s.found || realized < s.bestVal {
-			s.found = true
-			s.bestVal = realized
-			s.bestFlow = res.EdgeFlow
-			if s.stopAt >= 0 && s.bestVal <= s.stopAt {
-				s.done = true
-				return
+	lower := make([]int64, m)
+	for e := 0; e < m; e++ {
+		ed := g.Edge(e)
+		slack := target - tf[ed.From] - tb[ed.To]
+		tuples := inst.Fns[e].Tuples()
+		// The tuples are sorted by strictly decreasing T, so the first one
+		// fitting the slack has the minimal requirement.
+		r := tuples[len(tuples)-1].R // unreachable target: fastest level (still sound)
+		for _, tp := range tuples {
+			if tp.T <= slack {
+				r = tp.R
+				break
 			}
 		}
-		if s.optimisticMakespan() >= s.bestVal {
-			return // this subtree cannot beat the incumbent
-		}
+		lower[e] = r
 	}
-
-	// Path repair: raise arcs on the current critical path.
-	path, _, err := s.inst.G.CriticalPath(d)
+	res, err := flow.MinFlow(g, lower, inst.Source, inst.Sink)
 	if err != nil {
-		panic(err)
+		return 0 // malformed bounds cannot happen on a validated instance
 	}
-	var candidates []int
-	for _, e := range path {
-		if !s.frozen[e] && s.level[e]+1 < len(s.tuples[e]) {
-			candidates = append(candidates, e)
-		}
-	}
-	var thawed []int
-	for _, e := range candidates {
-		s.level[e]++
-		s.recurse()
-		s.level[e]--
-		if s.done || s.stopped {
-			break
-		}
-		if !s.frozen[e] {
-			s.frozen[e] = true
-			thawed = append(thawed, e)
-		}
-	}
-	for _, e := range thawed {
-		s.frozen[e] = false
-	}
-}
-
-func (s *searcher) solution() (core.Solution, Stats, error) {
-	stats := Stats{Nodes: s.nodes, Complete: !s.stopped, Interrupted: s.interrupted}
-	if !s.found {
-		switch {
-		case s.interrupted != nil:
-			return core.Solution{}, stats, s.interrupted
-		case s.stopped:
-			return core.Solution{}, stats, ErrTruncated
-		}
-		return core.Solution{}, stats, ErrNoSolution
-	}
-	sol, err := s.inst.NewSolution(s.bestFlow)
-	if err != nil {
-		return core.Solution{}, stats, fmt.Errorf("exact: internal solution invalid: %w", err)
-	}
-	return sol, stats, nil
+	return res.Value
 }
 
 // MinMakespan finds an optimal flow of value at most budget minimizing the
@@ -277,11 +604,20 @@ func MinMakespanCtx(ctx context.Context, inst *core.Instance, budget int64, opts
 	if budget < 0 {
 		return core.Solution{}, Stats{}, fmt.Errorf("exact: negative budget %d", budget)
 	}
-	s := newSearcher(ctx, inst, opts)
-	s.budget = budget
-	s.minimizeResource = false
-	s.recurse()
-	return s.solution()
+	sh := newShared(ctx, inst, opts)
+	sh.budget = budget
+	sh.minimizeResource = false
+	sh.budgetMin = make([]int64, inst.G.NumEdges())
+	for e, fn := range inst.Fns {
+		sh.budgetMin[e] = fn.Eval(budget)
+	}
+	m, err := inst.G.Makespan(sh.budgetMin)
+	if err != nil {
+		panic(err) // instance was validated
+	}
+	sh.floor.Store(m)
+	sh.run(optParallelism(opts))
+	return sh.solution()
 }
 
 // MinResource finds a flow of minimum value whose makespan is at most
@@ -296,11 +632,11 @@ func MinResourceCtx(ctx context.Context, inst *core.Instance, target int64, opts
 	if target < inst.MakespanLowerBound() {
 		return core.Solution{}, Stats{Complete: true}, ErrNoSolution
 	}
-	s := newSearcher(ctx, inst, opts)
-	s.target = target
-	s.minimizeResource = true
-	s.recurse()
-	return s.solution()
+	sh := newShared(ctx, inst, opts)
+	sh.target = target
+	sh.minimizeResource = true
+	sh.run(optParallelism(opts))
+	return sh.solution()
 }
 
 // Feasible decides whether some flow of value at most budget achieves
@@ -309,26 +645,42 @@ func Feasible(inst *core.Instance, budget, target int64, opts *Options) (bool, c
 	return FeasibleCtx(context.Background(), inst, budget, target, opts)
 }
 
-// FeasibleCtx is Feasible with cooperative cancellation; an interrupted
-// run reports infeasible with Stats.Interrupted set, so callers must
-// treat the answer as "not proven feasible" rather than "infeasible".
+// FeasibleCtx is Feasible with cooperative cancellation.  Its answer is
+// three-valued: (true, nil) proves feasibility with a witness, (false,
+// nil) proves infeasibility, and an interrupted or node-capped run that
+// proved neither returns false together with the context error or
+// ErrTruncated, so callers can no longer mistake "ran out of time" for
+// "proven infeasible".
 func FeasibleCtx(ctx context.Context, inst *core.Instance, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
 	if target < inst.MakespanLowerBound() {
 		return false, core.Solution{}, Stats{Complete: true}, nil
 	}
-	s := newSearcher(ctx, inst, opts)
-	s.target = target
-	s.budget = budget
-	s.minimizeResource = true
-	s.stopAt = budget
-	s.recurse()
-	stats := Stats{Nodes: s.nodes, Complete: !s.stopped, Interrupted: s.interrupted}
-	if !s.found || s.bestVal > budget {
-		return false, core.Solution{}, stats, nil
+	sh := newShared(ctx, inst, opts)
+	sh.target = target
+	sh.budget = budget
+	sh.minimizeResource = true
+	sh.stopAt = budget
+	sh.run(optParallelism(opts))
+	stats := sh.stats()
+	if sh.found.Load() && sh.bestVal.Load() <= budget {
+		sol, err := sh.inst.NewSolution(sh.bestFlow)
+		if err != nil {
+			return false, core.Solution{}, stats, err
+		}
+		return true, sol, stats, nil
 	}
-	sol, err := s.inst.NewSolution(s.bestFlow)
-	if err != nil {
-		return false, core.Solution{}, stats, err
+	if stats.Interrupted != nil {
+		return false, core.Solution{}, stats, stats.Interrupted
 	}
-	return true, sol, stats, nil
+	if !stats.Complete {
+		return false, core.Solution{}, stats, ErrTruncated
+	}
+	return false, core.Solution{}, stats, nil
+}
+
+func optParallelism(opts *Options) int {
+	if opts == nil {
+		return 0
+	}
+	return opts.Parallelism
 }

@@ -26,6 +26,7 @@ type Dinic struct {
 	head  [][]int // node -> arc indices
 	level []int
 	iter  []int
+	queue []int // BFS scratch, reused across phases
 }
 
 // NewDinic returns an empty network with n nodes.
@@ -35,6 +36,7 @@ func NewDinic(n int) *Dinic {
 		head:  make([][]int, n),
 		level: make([]int, n),
 		iter:  make([]int, n),
+		queue: make([]int, 0, n),
 	}
 }
 
@@ -64,8 +66,7 @@ func (d *Dinic) bfs(s, t int) bool {
 	for i := range d.level {
 		d.level[i] = -1
 	}
-	queue := make([]int, 0, d.n)
-	queue = append(queue, s)
+	queue := append(d.queue[:0], s)
 	d.level[s] = 0
 	for len(queue) > 0 {
 		v := queue[0]
@@ -138,6 +139,14 @@ type Result struct {
 // lies on a source-to-sink path), so seeing it indicates a malformed input.
 var ErrInfeasible = errors.New("flow: lower bounds are infeasible")
 
+func errBoundCount(got, want int) error {
+	return fmt.Errorf("flow: got %d lower bounds for %d edges", got, want)
+}
+
+func errNegativeBound(e int) error {
+	return fmt.Errorf("flow: negative lower bound on edge %d", e)
+}
+
 // MinFlow computes a minimum-value integral s-to-t flow on g subject to
 // EdgeFlow[e] >= lower[e] for every edge, with no upper capacities (the
 // paper's model places no caps on how much resource an arc may carry).
@@ -147,67 +156,17 @@ var ErrInfeasible = errors.New("flow: lower bounds are infeasible")
 // (2) cancel as much of the return flow as possible by running max-flow
 // from t to s in the residual network.  Both phases are integral, so the
 // result is integral, matching the integrality argument of Lemma 3.3.
+//
+// MinFlow builds the transformed network from scratch on every call; for
+// repeated solves on one graph use MinFlowSolver, which reuses it.
 func MinFlow(g *dag.Graph, lower []int64, s, t int) (Result, error) {
-	m := g.NumEdges()
-	if len(lower) != m {
-		return Result{}, fmt.Errorf("flow: got %d lower bounds for %d edges", len(lower), m)
+	res, err := NewMinFlowSolver(g, s, t).Solve(lower)
+	if err != nil {
+		return Result{}, err
 	}
-	var totalLower int64
-	for e, l := range lower {
-		if l < 0 {
-			return Result{}, fmt.Errorf("flow: negative lower bound on edge %d", e)
-		}
-		totalLower += l
-	}
-	// Any single edge never needs to carry more than the sum of all lower
-	// bounds in some optimal solution (route one unit path per unit of
-	// lower bound), so this is a safe finite stand-in for "no cap".
-	bigCap := totalLower + 1
-
-	n := g.NumNodes()
-	ss, tt := n, n+1
-	d := NewDinic(n + 2)
-
-	arcOf := make([]int, m)
-	excess := make([]int64, n)
-	for e := 0; e < m; e++ {
-		ed := g.Edge(e)
-		arcOf[e] = d.AddArc(ed.From, ed.To, bigCap-lower[e])
-		excess[ed.To] += lower[e]
-		excess[ed.From] -= lower[e]
-	}
-	var need int64
-	auxArcs := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		switch {
-		case excess[v] > 0:
-			auxArcs = append(auxArcs, d.AddArc(ss, v, excess[v]))
-			need += excess[v]
-		case excess[v] < 0:
-			auxArcs = append(auxArcs, d.AddArc(v, tt, -excess[v]))
-		}
-	}
-	returnArc := d.AddArc(t, s, bigCap)
-
-	if got := d.MaxFlow(ss, tt); got != need {
-		return Result{}, ErrInfeasible
-	}
-
-	// Freeze the auxiliary arcs so phase 2 cannot undo feasibility, remove
-	// the return arc, and cancel circulation flow from t to s.
-	for _, a := range auxArcs {
-		d.SetCap(a, 0)
-		d.SetCap(a^1, 0)
-	}
-	value := d.Flow(returnArc)
-	d.SetCap(returnArc, 0)
-	d.SetCap(returnArc^1, 0)
-	value -= d.MaxFlow(t, s)
-
-	res := Result{EdgeFlow: make([]int64, m), Value: value}
-	for e := 0; e < m; e++ {
-		res.EdgeFlow[e] = lower[e] + d.Flow(arcOf[e])
-	}
+	// The solver owns its EdgeFlow buffer; hand the caller a private copy
+	// to keep MinFlow's historical contract.
+	res.EdgeFlow = append([]int64(nil), res.EdgeFlow...)
 	return res, nil
 }
 

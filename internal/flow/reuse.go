@@ -1,0 +1,136 @@
+package flow
+
+import "repro/internal/dag"
+
+// MinFlowSolver computes minimum flows with per-edge lower bounds on one
+// fixed graph repeatedly, reusing a single transformed network across
+// solves.  The branch-and-bound search in internal/exact calls MinFlow at
+// every node with the same graph and only slightly different lower bounds;
+// rebuilding the Dinic network (nodes, arc pairs, adjacency lists) each
+// time dominated the allocation profile.  A MinFlowSolver builds the
+// super-source/super-sink transformation once and each Solve only rewrites
+// arc capacities, which touches no allocator at all.
+//
+// The structural trick that makes the network reusable is to add the
+// auxiliary ss->v and v->tt arcs for *every* node up front, instead of only
+// for nodes whose excess has the matching sign: an arc whose capacity is
+// set to zero is invisible to Dinic's BFS/DFS, so per-solve sign changes in
+// the node excesses are handled purely by capacity rewrites.
+//
+// A MinFlowSolver is NOT safe for concurrent use; give each worker its own
+// (they share nothing once constructed).
+type MinFlowSolver struct {
+	g    *dag.Graph
+	s, t int
+
+	d         *Dinic
+	arcOf     []int // per graph edge: forward arc index in d
+	ssArc     []int // per node: ss->v auxiliary arc
+	ttArc     []int // per node: v->tt auxiliary arc
+	returnArc int   // t->s arc closing the circulation
+
+	excess   []int64 // per-solve scratch
+	edgeFlow []int64 // result buffer, reused across solves
+}
+
+// NewMinFlowSolver builds the reusable transformed network for g with flow
+// from s to t.  The graph must not gain nodes or edges afterwards.
+func NewMinFlowSolver(g *dag.Graph, s, t int) *MinFlowSolver {
+	n, m := g.NumNodes(), g.NumEdges()
+	ss, tt := n, n+1
+	d := NewDinic(n + 2)
+	ms := &MinFlowSolver{
+		g: g, s: s, t: t, d: d,
+		arcOf:    make([]int, m),
+		ssArc:    make([]int, n),
+		ttArc:    make([]int, n),
+		excess:   make([]int64, n),
+		edgeFlow: make([]int64, m),
+	}
+	for e := 0; e < m; e++ {
+		ed := g.Edge(e)
+		ms.arcOf[e] = d.AddArc(ed.From, ed.To, 0)
+	}
+	for v := 0; v < n; v++ {
+		ms.ssArc[v] = d.AddArc(ss, v, 0)
+		ms.ttArc[v] = d.AddArc(v, tt, 0)
+	}
+	ms.returnArc = d.AddArc(t, s, 0)
+	return ms
+}
+
+// Solve computes a minimum-value integral s-to-t flow subject to
+// EdgeFlow[e] >= lower[e], exactly like MinFlow, but against the reused
+// network.  The returned Result's EdgeFlow slice is owned by the solver
+// and is only valid until the next Solve call; callers that keep a result
+// must copy it.
+func (ms *MinFlowSolver) Solve(lower []int64) (Result, error) {
+	m := ms.g.NumEdges()
+	if len(lower) != m {
+		return Result{}, errBoundCount(len(lower), m)
+	}
+	var totalLower int64
+	for e, l := range lower {
+		if l < 0 {
+			return Result{}, errNegativeBound(e)
+		}
+		totalLower += l
+	}
+	// See MinFlow: the sum of all lower bounds is a safe stand-in for "no
+	// upper capacity".
+	bigCap := totalLower + 1
+
+	d := ms.d
+	for v := range ms.excess {
+		ms.excess[v] = 0
+	}
+	for e := 0; e < m; e++ {
+		a := ms.arcOf[e]
+		d.SetCap(a, bigCap-lower[e])
+		d.SetCap(a^1, 0)
+		ed := ms.g.Edge(e)
+		ms.excess[ed.To] += lower[e]
+		ms.excess[ed.From] -= lower[e]
+	}
+	var need int64
+	for v, ex := range ms.excess {
+		sa, ta := ms.ssArc[v], ms.ttArc[v]
+		d.SetCap(sa, 0)
+		d.SetCap(sa^1, 0)
+		d.SetCap(ta, 0)
+		d.SetCap(ta^1, 0)
+		switch {
+		case ex > 0:
+			d.SetCap(sa, ex)
+			need += ex
+		case ex < 0:
+			d.SetCap(ta, -ex)
+		}
+	}
+	d.SetCap(ms.returnArc, bigCap)
+	d.SetCap(ms.returnArc^1, 0)
+
+	n := ms.g.NumNodes()
+	ss, tt := n, n+1
+	if got := d.MaxFlow(ss, tt); got != need {
+		return Result{}, ErrInfeasible
+	}
+
+	// Freeze the auxiliary arcs so phase 2 cannot undo feasibility, remove
+	// the return arc, and cancel circulation flow from t to s.
+	for v := 0; v < n; v++ {
+		d.SetCap(ms.ssArc[v], 0)
+		d.SetCap(ms.ssArc[v]^1, 0)
+		d.SetCap(ms.ttArc[v], 0)
+		d.SetCap(ms.ttArc[v]^1, 0)
+	}
+	value := d.Flow(ms.returnArc)
+	d.SetCap(ms.returnArc, 0)
+	d.SetCap(ms.returnArc^1, 0)
+	value -= d.MaxFlow(ms.t, ms.s)
+
+	for e := 0; e < m; e++ {
+		ms.edgeFlow[e] = lower[e] + d.Flow(ms.arcOf[e])
+	}
+	return Result{EdgeFlow: ms.edgeFlow, Value: value}, nil
+}

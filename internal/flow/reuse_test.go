@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMinFlowSolverMatchesMinFlow drives one reused solver through many
+// randomized lower-bound vectors on one graph and checks every answer
+// against a fresh MinFlow build, including repeats of earlier vectors (a
+// stale capacity from a previous solve would surface there).
+func TestMinFlowSolverMatchesMinFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		g, s, snk := randomDAG(rng)
+		ms := NewMinFlowSolver(g, s, snk)
+		var replay [][]int64
+		for round := 0; round < 30; round++ {
+			var lower []int64
+			if len(replay) > 0 && rng.Intn(4) == 0 {
+				lower = replay[rng.Intn(len(replay))]
+			} else {
+				lower = make([]int64, g.NumEdges())
+				for e := range lower {
+					lower[e] = int64(rng.Intn(4))
+				}
+				replay = append(replay, lower)
+			}
+			got, err := ms.Solve(lower)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkLower(t, g, got, lower, s, snk)
+			want, err := MinFlow(g, lower, s, snk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != want.Value {
+				t.Fatalf("trial %d round %d: reused solver value %d != fresh MinFlow %d",
+					trial, round, got.Value, want.Value)
+			}
+		}
+	}
+}
+
+// TestMinFlowSolverBufferReuse pins the documented aliasing contract: the
+// EdgeFlow slice returned by Solve is overwritten by the next Solve.
+func TestMinFlowSolverBufferReuse(t *testing.T) {
+	g := diamond()
+	ms := NewMinFlowSolver(g, 0, 3)
+	first, err := ms.Solve([]int64{2, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := append([]int64(nil), first.EdgeFlow...)
+	second, err := ms.Solve([]int64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Value != 0 {
+		t.Fatalf("second solve value = %d; want 0", second.Value)
+	}
+	if &first.EdgeFlow[0] != &second.EdgeFlow[0] {
+		t.Fatal("Solve must reuse its EdgeFlow buffer (that is the point)")
+	}
+	for e, f := range kept {
+		if f < []int64{2, 0, 0, 1}[e] {
+			t.Fatalf("copied first result corrupted at edge %d", e)
+		}
+	}
+}
+
+func TestMinFlowSolverBadInput(t *testing.T) {
+	ms := NewMinFlowSolver(diamond(), 0, 3)
+	if _, err := ms.Solve([]int64{1}); err == nil {
+		t.Fatal("want error for wrong lower length")
+	}
+	if _, err := ms.Solve([]int64{-1, 0, 0, 0}); err == nil {
+		t.Fatal("want error for negative lower bound")
+	}
+	// The solver must still work after rejecting bad input.
+	res, err := ms.Solve([]int64{2, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Fatalf("Value = %d; want 3", res.Value)
+	}
+}
+
+// BenchmarkMinFlowReuse contrasts per-call network builds with the reused
+// solver on the same lower-bound workload.
+func BenchmarkMinFlowReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g, s, snk := randomDAG(rng)
+	bounds := make([][]int64, 16)
+	for i := range bounds {
+		bounds[i] = make([]int64, g.NumEdges())
+		for e := range bounds[i] {
+			bounds[i][e] = int64(rng.Intn(4))
+		}
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MinFlow(g, bounds[i%len(bounds)], s, snk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		ms := NewMinFlowSolver(g, s, snk)
+		for i := 0; i < b.N; i++ {
+			if _, err := ms.Solve(bounds[i%len(bounds)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

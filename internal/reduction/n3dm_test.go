@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/exact"
@@ -94,6 +95,11 @@ func TestN3DMEquivalence(t *testing.T) {
 			}
 			_, _, want := tc.p.Solve()
 			got, _, stats, err := exact.Feasible(r.Inst, r.Budget, r.Target, &exact.Options{MaxNodes: 1 << 21})
+			if errors.Is(err, exact.ErrTruncated) {
+				// Feasibility was neither proven nor refuted at this node
+				// budget; the three-valued contract now says so explicitly.
+				t.Skipf("undecided after %d nodes", stats.Nodes)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -24,7 +24,19 @@ const (
 	// misjudged instance degrades to a truncated (but reported) search
 	// instead of hanging.
 	autoExactNodes = 1 << 18
+	// autoRaceSpace is the assignment-space ceiling for racing: past the
+	// exact threshold but below this, the exact search often still
+	// finishes quickly (pruning collapses most trees), so with spare
+	// parallelism auto races it against the bi-criteria rounding instead
+	// of writing it off.
+	autoRaceSpace = int64(1) << 26
+	// autoRaceNodes caps the exact racer; the rounding rival is the
+	// safety net, so the cap only bounds wasted work.
+	autoRaceNodes = 1 << 20
 )
+
+// raceRoute is the sentinel route name for the exact-vs-rounding race.
+const raceRoute = "race"
 
 // autoSolver is the portfolio solver: it inspects the instance and routes
 // to the registered solver whose guarantee applies, recording the
@@ -36,7 +48,7 @@ func newAutoSolver() Solver { return autoSolver{} }
 func (autoSolver) Name() string { return "auto" }
 
 func (autoSolver) Capabilities() Caps {
-	return Caps{Budget: true, Target: true,
+	return Caps{Budget: true, Target: true, Parallel: true,
 		Guarantee: "inherited from the routed solver"}
 }
 
@@ -45,8 +57,10 @@ func (autoSolver) Capabilities() Caps {
 // the exact spdp; a recognized k-way or recursive-binary duration class
 // goes to the matching approximation (budget mode only - those solvers
 // have no min-resource variant); a small assignment space goes to exact
-// branch-and-bound under a node budget; everything else takes the
-// general bi-criteria rounding.
+// branch-and-bound under a node budget; an assignment space near that
+// threshold, when the caller explicitly asked for two or more workers,
+// races exact against the bi-criteria rounding (route name "race");
+// everything else takes the general bi-criteria rounding.
 func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, opts Options) {
 	obj := o.Objective()
 	if tree, leafArc, ok := sp.RecognizeMap(inst); ok {
@@ -71,11 +85,21 @@ func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, op
 			return "binary4", "all jobs recursive binary splitting (Eq 3)", o
 		}
 	}
-	if space := assignmentSpace(inst); space <= autoExactSpace {
+	space := assignmentSpace(inst)
+	if space <= autoExactSpace {
 		if o.MaxNodes == 0 {
 			o.MaxNodes = autoExactNodes
 		}
 		return "exact", fmt.Sprintf("small instance (assignment space %d)", space), o
+	}
+	// Racing is opt-in: it requires an explicit WithParallelism(>=2), not
+	// the GOMAXPROCS default, so that plain auto solves route (and hence
+	// reproduce) identically on every machine.
+	if space <= autoRaceSpace && o.Parallelism >= 2 {
+		if o.MaxNodes == 0 {
+			o.MaxNodes = autoRaceNodes
+		}
+		return raceRoute, fmt.Sprintf("assignment space %d near the exact threshold", space), o
 	}
 	if obj == MinResource {
 		return "bicriteria-resource", "general step functions, large instance", o
@@ -85,6 +109,17 @@ func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, op
 
 func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 	name, reason, routed := a.route(inst, o)
+	if name == raceRoute {
+		rival := "bicriteria"
+		if routed.Objective() == MinResource {
+			rival = "bicriteria-resource"
+		}
+		rep, winner, err := raceSolve(ctx, inst, routed, "exact", rival)
+		if rep != nil {
+			rep.Routing = fmt.Sprintf("auto -> race(exact vs %s): %s; winner %s", rival, reason, winner)
+		}
+		return rep, err
+	}
 	s, err := Get(name)
 	if err != nil {
 		return nil, err
@@ -98,13 +133,13 @@ func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (
 
 // assignmentSpace is the product of per-arc breakpoint counts - the size
 // of the exact search's tuple-assignment space - saturating at one past
-// autoExactSpace.
+// autoRaceSpace (the largest threshold any routing rule compares against).
 func assignmentSpace(inst *core.Instance) int64 {
 	space := int64(1)
 	for _, fn := range inst.Fns {
 		space *= int64(len(fn.Tuples()))
-		if space > autoExactSpace {
-			return autoExactSpace + 1
+		if space > autoRaceSpace {
+			return autoRaceSpace + 1
 		}
 	}
 	return space

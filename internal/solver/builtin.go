@@ -41,7 +41,7 @@ func (f *funcSolver) Solve(ctx context.Context, inst *core.Instance, o Options) 
 func init() {
 	Register(&funcSolver{
 		name: "exact",
-		caps: Caps{Budget: true, Target: true, Exact: true,
+		caps: Caps{Budget: true, Target: true, Exact: true, Parallel: true,
 			Guarantee: "optimal when the search completes"},
 		solve: solveExact,
 	})
@@ -106,7 +106,7 @@ func fromApprox(res *approx.Result, err error) (*Report, error) {
 // cancellation with a solution already in hand, the partial Report is
 // returned together with the context error.
 func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-	eopts := &exact.Options{MaxNodes: o.MaxNodes}
+	eopts := &exact.Options{MaxNodes: o.MaxNodes, Parallelism: o.Parallelism}
 	var (
 		sol   core.Solution
 		stats exact.Stats
@@ -127,13 +127,19 @@ func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, e
 		Nodes:    stats.Nodes,
 	}
 	if stats.Complete {
+		// A complete run is optimal: its own metric is the tight bound.
 		if o.Objective() == MinResource {
 			rep.LowerBound = float64(sol.Value)
 		} else {
 			rep.LowerBound = float64(sol.Makespan)
 		}
-	} else if o.Objective() == MinMakespan {
-		rep.LowerBound = float64(inst.MakespanLowerBound())
+	} else if o.Objective() == MinResource {
+		// Incomplete min-resource runs used to leave LowerBound at 0,
+		// which read as "no bound"; the slack-induced min-flow bound is
+		// always available and sound.
+		rep.LowerBound = float64(exact.ResourceLowerBound(inst, o.Target))
+	} else {
+		rep.LowerBound = float64(exact.BudgetedMakespanLowerBound(inst, o.Budget))
 	}
 	if stats.Interrupted != nil {
 		return rep, stats.Interrupted

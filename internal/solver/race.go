@@ -1,0 +1,66 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// raceSolve runs the named solvers concurrently on the same instance and
+// options, all under one child context.  The first solver to return a
+// complete, error-free Report wins and the shared context is canceled so
+// every loser stops at its next cooperative poll.  When nobody completes
+// (deadline, node caps, pre-canceled parent), the most useful outcome is
+// returned instead: a partial Report without error beats a partial Report
+// with the context error, which beats a bare error.
+//
+// The racers share the process, not just the context, so auto only routes
+// here when the caller explicitly opted in with Options.Parallelism >= 2.
+func raceSolve(ctx context.Context, inst *core.Instance, o Options, names ...string) (rep *Report, winner string, err error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		name string
+		rep  *Report
+		err  error
+	}
+	// Buffered so losers finishing after the verdict never block or leak.
+	results := make(chan outcome, len(names))
+	for _, name := range names {
+		go func(name string) {
+			s, err := Get(name)
+			if err != nil {
+				results <- outcome{name: name, err: err}
+				return
+			}
+			rep, err := s.Solve(rctx, inst, o)
+			results <- outcome{name: name, rep: rep, err: err}
+		}(name)
+	}
+	score := func(out outcome) int {
+		switch {
+		case out.rep != nil && out.err == nil:
+			return 2
+		case out.rep != nil:
+			return 1
+		}
+		return 0
+	}
+	var fallback outcome
+	haveFallback := false
+	for range names {
+		out := <-results
+		if out.err == nil && out.rep != nil && out.rep.Complete {
+			cancel() // first complete result wins; stop the losers
+			return out.rep, out.name, nil
+		}
+		if !haveFallback || score(out) > score(fallback) {
+			fallback, haveFallback = out, true
+		}
+	}
+	if !haveFallback {
+		return nil, "", fmt.Errorf("solver: race with no entrants")
+	}
+	return fallback.rep, fallback.name, fallback.err
+}

@@ -20,6 +20,13 @@
 // relaxations poll it cooperatively, so long solves are interruptible and
 // deadline-bounded (WithDeadline).  On interruption Solve may return a
 // non-nil partial Report together with the context error.
+//
+// WithParallelism sizes the exact search's worker pool (Caps.Parallel
+// marks the solvers that honor it) and additionally arms auto's racing
+// mode: on instances whose assignment space sits just past the exact
+// threshold, auto runs exact and the bi-criteria rounding concurrently
+// under one context, keeps the first complete result, and cancels the
+// loser.
 package solver
 
 import (
@@ -62,6 +69,10 @@ type Caps struct {
 	Exact bool
 	// SeriesParallelOnly: requires a two-terminal series-parallel DAG.
 	SeriesParallelOnly bool
+	// Parallel: honors Options.Parallelism (a multicore search).  Asking
+	// a non-parallel solver for parallelism is a capability error, not a
+	// silent ignore.
+	Parallel bool
 	// Classes lists the duration-function kinds (duration.Kind*) whose
 	// approximation guarantee the solver carries; nil means any
 	// non-increasing step function.
@@ -104,6 +115,11 @@ type Options struct {
 	Alpha float64
 	// MaxNodes caps the exact search; 0 uses the search's default.
 	MaxNodes int
+	// Parallelism sizes the worker pool of parallel solvers: 0 uses
+	// GOMAXPROCS, 1 forces sequential search.  Explicit values of 2 or
+	// more also arm auto's exact-vs-approximation racing.  Only solvers
+	// whose Caps declare Parallel accept values above 1.
+	Parallelism int
 	// Deadline bounds the wall time; zero means none.  Solve derives a
 	// context deadline from it.
 	Deadline time.Time
@@ -137,6 +153,11 @@ func WithAlpha(a float64) Option { return func(o *Options) { o.Alpha = a } }
 
 // WithMaxNodes caps the exact branch-and-bound search.
 func WithMaxNodes(n int) Option { return func(o *Options) { o.MaxNodes = n } }
+
+// WithParallelism sizes the branch-and-bound worker pool (0: GOMAXPROCS,
+// 1: sequential) and lets auto race exact against the bi-criteria rounding
+// when the instance sits near the exact-search threshold.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
 // WithDeadline bounds the solve's wall time via a context deadline.
 func WithDeadline(d time.Time) Option { return func(o *Options) { o.Deadline = d } }
@@ -266,7 +287,25 @@ func checkOptions(s Solver, o Options) error {
 		return fmt.Errorf("solver: %q does not support %v mode, only %v (solvers supporting %v: %s)",
 			s.Name(), obj, other, obj, strings.Join(namesSupporting(obj), ", "))
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("solver: negative parallelism %d (0 means GOMAXPROCS, 1 sequential)", o.Parallelism)
+	}
+	if o.Parallelism > 1 && !caps.Parallel {
+		return fmt.Errorf("solver: %q is single-threaded and ignores parallelism %d (parallel solvers: %s)",
+			s.Name(), o.Parallelism, strings.Join(namesParallel(), ", "))
+	}
 	return nil
+}
+
+// namesParallel lists registered solvers that honor Options.Parallelism.
+func namesParallel() []string {
+	var names []string
+	for _, s := range List() {
+		if s.Capabilities().Parallel {
+			names = append(names, s.Name())
+		}
+	}
+	return names
 }
 
 // namesSupporting lists registered solvers that handle obj, for error

@@ -109,6 +109,9 @@ var (
 	WithAlpha = solver.WithAlpha
 	// WithMaxNodes caps the exact branch-and-bound search.
 	WithMaxNodes = solver.WithMaxNodes
+	// WithParallelism sizes the exact search's worker pool (0: GOMAXPROCS,
+	// 1: sequential) and arms auto's exact-vs-rounding racing.
+	WithParallelism = solver.WithParallelism
 	// WithDeadline bounds the solve's wall time via a context deadline.
 	WithDeadline = solver.WithDeadline
 )
