@@ -1,0 +1,207 @@
+// Command benchdiff records Go benchmark output as a JSON baseline and
+// compares later runs against it, failing on aggregate regressions.  It is
+// the core of CI's benchmark-regression gate.
+//
+//	go test -bench . -benchtime=3x -count=3 -run='^$' ./... > bench.txt
+//	benchdiff -record -in bench.txt -out BENCH_baseline.json
+//	benchdiff -baseline BENCH_baseline.json -new bench_new.json -threshold 1.30
+//
+// Recording parses `ns/op` lines, strips the -GOMAXPROCS suffix, and keeps
+// the MINIMUM across repetitions of each benchmark: the minimum is the
+// least noisy location statistic for benchmark times (noise on shared CI
+// runners is strictly additive).
+//
+// Comparison computes the geometric mean of the per-benchmark new/old
+// ratios over the benchmarks present on both sides, and exits nonzero if
+// it exceeds the threshold.  A geomean over everything, rather than a
+// per-benchmark gate, keeps single-benchmark jitter from failing builds
+// while still catching a real across-the-board slowdown; per-benchmark
+// outliers are printed so a local regression is visible in the log even
+// when the gate passes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	Schema int `json:"schema"`
+	// Unit is what the numbers measure; always ns/op today.
+	Unit string `json:"unit"`
+	// Benchmarks maps benchmark name (sub-benchmarks included, CPU suffix
+	// stripped) to its minimum observed ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   3   123456 ns/op ...` including
+// sub-benchmarks and extra ReportMetric columns after ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	record := flag.Bool("record", false, "parse benchmark text (-in) into a JSON baseline (-out)")
+	in := flag.String("in", "", "benchmark text input for -record (default stdin)")
+	out := flag.String("out", "", "JSON output for -record (default stdout)")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to compare against")
+	newPath := flag.String("new", "", "fresh baseline JSON (from -record) to compare")
+	threshold := flag.Float64("threshold", 1.30, "max allowed geomean ratio new/old")
+	flag.Parse()
+
+	switch {
+	case *record:
+		if err := doRecord(*in, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *baselinePath != "" && *newPath != "":
+		ok, err := doCompare(*baselinePath, *newPath, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// parseBench reads `go test -bench` text and returns min ns/op per name.
+func parseBench(r *os.File) (map[string]float64, error) {
+	mins := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := mins[m[1]]; !ok || ns < prev {
+			mins[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(mins) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return mins, nil
+}
+
+func doRecord(inPath, outPath string) error {
+	f := os.Stdin
+	if inPath != "" {
+		var err error
+		f, err = os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	mins, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(Baseline{Schema: 1, Unit: "ns/op", Benchmarks: mins}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return b, nil
+}
+
+func doCompare(basePath, newPath string, threshold float64) (bool, error) {
+	base, err := loadBaseline(basePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := loadBaseline(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	type row struct {
+		name       string
+		old, fresh float64
+		ratio      float64
+	}
+	var rows []row
+	var logSum float64
+	for name, oldNS := range base.Benchmarks {
+		newNS, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Printf("WARN  %-50s missing from the new run\n", name)
+			continue
+		}
+		if oldNS <= 0 || newNS <= 0 {
+			continue
+		}
+		r := row{name: name, old: oldNS, fresh: newNS, ratio: newNS / oldNS}
+		logSum += math.Log(r.ratio)
+		rows = append(rows, r)
+	}
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NOTE  %-50s new benchmark, not gated yet\n", name)
+		}
+	}
+	if len(rows) == 0 {
+		return false, fmt.Errorf("no benchmarks in common between %s and %s", basePath, newPath)
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	fmt.Printf("%-50s %14s %14s %8s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "RATIO")
+	for _, r := range rows {
+		marker := ""
+		if r.ratio > threshold {
+			marker = "  <-- regressed"
+		}
+		fmt.Printf("%-50s %14.1f %14.1f %8.3f%s\n", r.name, r.old, r.fresh, r.ratio, marker)
+	}
+
+	geomean := math.Exp(logSum / float64(len(rows)))
+	fmt.Printf("\ngeomean ratio over %d benchmarks: %.3f (threshold %.3f)\n",
+		len(rows), geomean, threshold)
+	if geomean > threshold {
+		fmt.Printf("FAIL: aggregate benchmark regression of %.1f%% exceeds the %.1f%% gate\n",
+			(geomean-1)*100, (threshold-1)*100)
+		return false, nil
+	}
+	fmt.Println("PASS")
+	return true, nil
+}

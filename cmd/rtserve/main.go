@@ -1,0 +1,71 @@
+// Command rtserve runs the resource-time tradeoff solving service: a
+// long-running HTTP/JSON server over the unified solver registry, with a
+// bounded worker pool and a canonical-hash result cache so repeated
+// instances never recompute.
+//
+//	rtserve -addr :8080 -workers 8 -cache 4096
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/solvers
+//	curl -X POST localhost:8080/v1/solve \
+//	  -d '{"solver":"auto","options":{"budget":6},"instance":'"$(rtgen -kind step)"'}'
+//
+// Batches go under {"batch": [...]}; duplicated instances inside a batch
+// are solved once and served from the cache.  GET /v1/stats reports cache
+// hit/miss/coalesce counters and pool utilization.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solve workers (0: GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "result-cache entries (0: 1024 default, -1: disable)")
+	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0: 8 MiB default)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		MaxBodyBytes: *maxBody,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Canonical instance hashing.
+//
+// Every solve in this repository is a pure function of the instance: the
+// optimum (and each solver's output) depends only on the DAG topology and
+// on what each arc's duration function *evaluates to*.  CanonicalHash
+// captures exactly that dependency, so it can key result caches: two
+// instances with equal hashes are interchangeable inputs to every solver.
+//
+// The canonical encoding, in order:
+//
+//   - a version tag ("rtt-canon-v1"), so the definition can evolve without
+//     old caches silently colliding with new ones;
+//   - the node count.  Node NAMES are excluded: renaming nodes changes no
+//     solve, so it must not change the hash (name-insensitivity);
+//   - the arc count;
+//   - every arc, encoded as (from, to, breakpoint count, breakpoints) with
+//     all integers big-endian fixed-width, and the per-arc encodings sorted
+//     lexicographically.  Sorting makes the hash independent of arc
+//     insertion order; big-endian fixed-width makes lexicographic byte
+//     order agree with numeric order, so the sort is canonical.  Parallel
+//     arcs (legal in this multigraph model, and produced by the Section 3.1
+//     expansion) contribute one encoding each, so multiplicity counts.
+//
+// A duration function enters the hash through its canonical breakpoint
+// tuples (duration.Func.Tuples), which determine Eval exactly.  The wire
+// "kind" is deliberately ignored: a kway spec and a hand-written step spec
+// with the same breakpoints are the same function to every solver, so they
+// hash identically.
+//
+// The hash is canonical under node renaming and arc reordering but NOT
+// under node re-indexing: it does not solve graph isomorphism.  Two
+// isomorphic instances whose nodes were numbered differently may hash
+// differently, which for a cache only costs a miss, never a wrong hit.
+const canonVersion = "rtt-canon-v1"
+
+// AppendCanonical appends the canonical byte encoding of the instance (see
+// the package documentation above canonVersion) to buf and returns the
+// extended slice.  Callers that hash many instances can reuse buf across
+// calls to avoid reallocating the scratch.
+func (inst *Instance) AppendCanonical(buf []byte) []byte {
+	buf = append(buf, canonVersion...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(inst.G.NumNodes()))
+	m := inst.G.NumEdges()
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m))
+	arcs := make([][]byte, m)
+	for e := 0; e < m; e++ {
+		ed := inst.G.Edge(e)
+		tuples := inst.Fns[e].Tuples()
+		enc := make([]byte, 0, 24+16*len(tuples))
+		enc = binary.BigEndian.AppendUint64(enc, uint64(ed.From))
+		enc = binary.BigEndian.AppendUint64(enc, uint64(ed.To))
+		enc = binary.BigEndian.AppendUint64(enc, uint64(len(tuples)))
+		for _, tp := range tuples {
+			enc = binary.BigEndian.AppendUint64(enc, uint64(tp.R))
+			enc = binary.BigEndian.AppendUint64(enc, uint64(tp.T))
+		}
+		arcs[e] = enc
+	}
+	sort.Slice(arcs, func(i, j int) bool { return bytes.Compare(arcs[i], arcs[j]) < 0 })
+	for _, enc := range arcs {
+		buf = append(buf, enc...)
+	}
+	return buf
+}
+
+// CanonicalHash returns the hex-encoded SHA-256 of the instance's canonical
+// encoding; see AppendCanonical for the exact definition and its
+// invariances.
+func (inst *Instance) CanonicalHash() string {
+	sum := sha256.Sum256(inst.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}

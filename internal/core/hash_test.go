@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// diamond builds s -> {a, b} -> t with the given duration functions, in the
+// given arc order (a permutation of 0..3 over the arcs s-a, s-b, a-t, b-t).
+func diamond(t *testing.T, names [4]string, order [4]int, fns [4]duration.Func) *Instance {
+	t.Helper()
+	g := dag.New()
+	s, a, b, snk := g.AddNode(names[0]), g.AddNode(names[1]), g.AddNode(names[2]), g.AddNode(names[3])
+	arcs := [4][2]int{{s, a}, {s, b}, {a, snk}, {b, snk}}
+	ordered := make([]duration.Func, 4)
+	for i, idx := range order {
+		g.AddEdge(arcs[idx][0], arcs[idx][1])
+		ordered[i] = fns[idx]
+	}
+	inst, err := NewInstance(g, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func fourFns() [4]duration.Func {
+	return [4]duration.Func{
+		duration.NewKWay(36),
+		duration.MustStep(duration.Tuple{R: 0, T: 9}, duration.Tuple{R: 2, T: 4}),
+		duration.Constant(3),
+		duration.NewRecursiveBinary(32),
+	}
+}
+
+func TestCanonicalHashIgnoresNodeNames(t *testing.T) {
+	a := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fourFns())
+	b := diamond(t, [4]string{"source", "x", "y", "sink"}, [4]int{0, 1, 2, 3}, fourFns())
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("renaming nodes changed the canonical hash")
+	}
+}
+
+func TestCanonicalHashIgnoresArcOrder(t *testing.T) {
+	a := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fourFns())
+	b := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{3, 1, 0, 2}, fourFns())
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("reordering arc insertion changed the canonical hash")
+	}
+}
+
+func TestCanonicalHashIgnoresSpecKind(t *testing.T) {
+	// A kway function and a step function with identical breakpoints are
+	// the same function to every solver and must hash identically.
+	kway := duration.NewKWay(36)
+	step, err := duration.NewStep(kway.Tuples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := fourFns()
+	a := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fns)
+	fns[0] = step
+	b := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fns)
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("equivalent functions of different kinds hash differently")
+	}
+}
+
+func TestCanonicalHashSeparatesDifferentInstances(t *testing.T) {
+	base := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fourFns())
+	seen := map[string]string{base.CanonicalHash(): "base"}
+
+	// Different duration on one arc.
+	fns := fourFns()
+	fns[2] = duration.Constant(4)
+	variants := map[string]*Instance{
+		"changed-duration": diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fns),
+	}
+
+	// Different topology: an extra a->b cross arc.
+	g := dag.New()
+	s, a, b, snk := g.AddNode("s"), g.AddNode("a"), g.AddNode("b"), g.AddNode("t")
+	for _, arc := range [][2]int{{s, a}, {s, b}, {a, snk}, {b, snk}, {a, b}} {
+		g.AddEdge(arc[0], arc[1])
+	}
+	f := fourFns()
+	bridge, err := NewInstance(g, []duration.Func{f[0], f[1], f[2], f[3], duration.Constant(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants["extra-arc"] = bridge
+
+	// Parallel arcs must count with multiplicity.
+	g2 := dag.New()
+	s2, t2 := g2.AddNode("s"), g2.AddNode("t")
+	g2.AddEdge(s2, t2)
+	g2.AddEdge(s2, t2)
+	multi, err := NewInstance(g2, []duration.Func{duration.Constant(3), duration.Constant(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3 := dag.New()
+	s3, t3 := g3.AddNode("s"), g3.AddNode("t")
+	g3.AddEdge(s3, t3)
+	single, err := NewInstance(g3, []duration.Func{duration.Constant(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants["parallel-arcs"] = multi
+	variants["single-arc"] = single
+
+	for name, inst := range variants {
+		h := inst.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%s collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestCanonicalHashStableAcrossJSONRoundTrip(t *testing.T) {
+	orig := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fourFns())
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if orig.CanonicalHash() != back.CanonicalHash() {
+		t.Fatal("JSON round trip changed the canonical hash")
+	}
+}
+
+func TestAppendCanonicalReusesBuffer(t *testing.T) {
+	inst := diamond(t, [4]string{"s", "a", "b", "t"}, [4]int{0, 1, 2, 3}, fourFns())
+	buf := inst.AppendCanonical(nil)
+	again := inst.AppendCanonical(buf[:0])
+	if &buf[0] != &again[0] {
+		t.Fatal("AppendCanonical did not reuse the scratch buffer")
+	}
+	if string(buf) != string(again) {
+		t.Fatal("reused buffer produced a different encoding")
+	}
+}

@@ -39,11 +39,23 @@ func (inst *Instance) MarshalJSON() ([]byte, error) {
 	return json.Marshal(ij)
 }
 
-// UnmarshalJSON decodes and validates an instance.
+// UnmarshalJSON decodes and validates an instance.  Every structural
+// defect is reported as an error rather than deferred to a later panic:
+// dangling edge endpoints, self-loops, cycles, multiple sources or sinks,
+// unreachable nodes (all via dag.Validate through NewInstance), empty
+// graphs, and unknown or malformed duration specs.  Duplicate (parallel)
+// arcs are NOT defects: the model is a multigraph, and the Section 3.1
+// two-tuple expansion produces parallel arcs routinely.  On error *inst is
+// left unmodified; on success the decoded instance re-marshals to an
+// equivalent document (same topology, names and canonical duration
+// tuples), so decode/encode round trips are stable.
 func (inst *Instance) UnmarshalJSON(data []byte) error {
 	var ij instanceJSON
 	if err := json.Unmarshal(data, &ij); err != nil {
-		return err
+		return fmt.Errorf("core: invalid instance JSON: %w", err)
+	}
+	if len(ij.Nodes) == 0 {
+		return fmt.Errorf("core: instance has no nodes")
 	}
 	g := dag.New()
 	for _, name := range ij.Nodes {
@@ -51,8 +63,11 @@ func (inst *Instance) UnmarshalJSON(data []byte) error {
 	}
 	fns := make([]duration.Func, 0, len(ij.Edges))
 	for i, e := range ij.Edges {
+		// Bounds-check before AddEdge: dag.AddEdge panics on out-of-range
+		// endpoints, and wire input must never reach a panic path.
 		if e.From < 0 || e.From >= len(ij.Nodes) || e.To < 0 || e.To >= len(ij.Nodes) {
-			return fmt.Errorf("core: edge %d references missing node", i)
+			return fmt.Errorf("core: edge %d (%d -> %d) references a missing node (have %d nodes)",
+				i, e.From, e.To, len(ij.Nodes))
 		}
 		g.AddEdge(e.From, e.To)
 		fn, err := duration.FromSpec(e.Fn)

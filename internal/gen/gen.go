@@ -121,6 +121,52 @@ func (g *Gen) SPTree(leaves int, maxTuples int, maxT0, maxR int64) *sp.Tree {
 	return sp.Parallel(l, r)
 }
 
+// Request is one entry of a synthetic solve-request stream: an instance
+// plus an objective (exactly one of Budget and Target is >= 0).
+type Request struct {
+	Inst   *core.Instance
+	Budget int64 // >= 0 selects min-makespan mode
+	Target int64 // >= 0 selects min-resource mode
+}
+
+// RequestStream builds a deterministic stream of n solve requests drawn
+// from a pool of distinct small instances that mixes the three duration
+// classes.  Requests repeat instances (and often exact instance/objective
+// pairs) by construction: repeated identical inputs are the defining
+// feature of service traffic, and the repetition rate is what result
+// caching and single-flight de-duplication feed on in load tests.  Every
+// generated request is solvable — budgets are small positive values and
+// targets are the always-reachable zero-flow makespan — so a load driver
+// can assert zero errors end to end.
+func (g *Gen) RequestStream(n, distinct int) []Request {
+	if distinct < 1 {
+		distinct = 1
+	}
+	pool := make([]*core.Instance, distinct)
+	for i := range pool {
+		switch i % 3 {
+		case 0:
+			pool[i] = g.StepInstance(2, 2, 1, 3, 9, 3)
+		case 1:
+			pool[i] = g.KWayInstance(2, 2, 1, 30)
+		default:
+			pool[i] = g.BinaryInstance(2, 2, 1, 30)
+		}
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		inst := pool[g.rng.Intn(distinct)]
+		req := Request{Inst: inst, Budget: -1, Target: -1}
+		if g.rng.Intn(4) == 0 {
+			req.Target = inst.ZeroFlowMakespan()
+		} else {
+			req.Budget = 1 + g.rng.Int63n(4)
+		}
+		reqs[i] = req
+	}
+	return reqs
+}
+
 // ForkJoin builds the classic fork-join instance: stages of width parallel
 // jobs between synchronization points, all jobs using the given duration
 // class ("kway", "binary" or "step").

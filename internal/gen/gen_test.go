@@ -3,6 +3,7 @@ package gen
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/duration"
 	"repro/internal/sp"
 )
@@ -77,6 +78,54 @@ func TestSPTree(t *testing.T) {
 	}
 	if _, ok := sp.Recognize(inst); !ok {
 		t.Fatal("generated SP instance not recognized as SP")
+	}
+}
+
+func TestRequestStream(t *testing.T) {
+	const n, distinct = 200, 10
+	reqs := New(21).RequestStream(n, distinct)
+	if len(reqs) != n {
+		t.Fatalf("len = %d; want %d", len(reqs), n)
+	}
+	seen := make(map[*core.Instance]int)
+	budgets, targets := 0, 0
+	for i, req := range reqs {
+		if (req.Budget >= 0) == (req.Target >= 0) {
+			t.Fatalf("request %d: exactly one objective required (budget %d, target %d)",
+				i, req.Budget, req.Target)
+		}
+		if req.Budget >= 0 {
+			budgets++
+		} else {
+			targets++
+			if req.Target < req.Inst.MakespanLowerBound() {
+				t.Fatalf("request %d: target %d below the reachability bound", i, req.Target)
+			}
+		}
+		if _, _, err := req.Inst.G.Validate(); err != nil {
+			t.Fatalf("request %d: invalid instance: %v", i, err)
+		}
+		seen[req.Inst]++
+	}
+	if len(seen) > distinct {
+		t.Fatalf("stream used %d distinct instances; want at most %d", len(seen), distinct)
+	}
+	// The stream must repeat instances: that repetition is what result
+	// caching feeds on.
+	if len(seen) >= n {
+		t.Fatal("stream never repeated an instance")
+	}
+	if budgets == 0 || targets == 0 {
+		t.Fatalf("stream must mix objectives (budgets %d, targets %d)", budgets, targets)
+	}
+
+	// Same seed, same stream.
+	again := New(21).RequestStream(n, distinct)
+	for i := range reqs {
+		if reqs[i].Budget != again[i].Budget || reqs[i].Target != again[i].Target ||
+			reqs[i].Inst.CanonicalHash() != again[i].Inst.CanonicalHash() {
+			t.Fatalf("request %d differs across identically-seeded generators", i)
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/solver"
+)
+
+// resultCache is an LRU result cache with single-flight de-duplication.
+//
+// Solves are pure functions of (instance, solver, options) — see
+// core.Instance.CanonicalHash for the instance half of that key — so a
+// repeated request must never recompute.  Two mechanisms enforce that:
+//
+//   - completed reports live in an LRU keyed by the full request identity,
+//     so repeats are served from memory;
+//   - concurrent identical requests coalesce: the first computes, the rest
+//     wait on its flight and share the outcome.  Without this, a burst of
+//     duplicates (the common batch shape) would all miss the still-empty
+//     cache and stampede the worker pool.
+//
+// Only complete, error-free reports are cached: an interrupted solve is an
+// artifact of that request's deadline, not a property of the instance.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	rep solver.WireReport
+}
+
+// flight is one in-progress computation other requests can wait on.
+type flight struct {
+	done chan struct{}
+	rep  solver.WireReport
+	err  error
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts requests served from the completed-result LRU.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that had to compute.
+	Misses int64 `json:"misses"`
+	// Coalesced counts requests that waited on an identical in-flight
+	// solve instead of computing (single-flight de-duplication).
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts LRU evictions.
+	Evictions int64 `json:"evictions"`
+	// Size and Capacity describe the LRU occupancy.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// newResultCache builds a cache holding up to capacity completed reports.
+// capacity <= 0 disables storage but keeps single-flight de-duplication.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the cached report for key, joins an identical in-flight
+// computation, or runs compute — whichever is cheapest.  cached is true
+// when compute did not run for this call.  The returned report's Flow
+// slice is shared across callers and must be treated as immutable.
+func (c *resultCache) do(ctx context.Context, key string, compute func() (solver.WireReport, error)) (rep solver.WireReport, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		rep = el.Value.(*cacheEntry).rep
+		c.mu.Unlock()
+		return rep, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.rep, true, f.err
+		case <-ctx.Done():
+			// This caller gives up; the flight itself keeps computing for
+			// everyone else.
+			return solver.WireReport{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.rep, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && f.rep.Complete && c.capacity > 0 {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: f.rep})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.rep, false, f.err
+}
+
+// get returns the cached report for key, counting a hit or a miss.  It
+// never joins in-flight computations: deadline-bounded requests use it so
+// they neither lead a flight whose (possibly truncated) outcome other
+// requests would share, nor inherit a truncation shaped by someone else's
+// deadline.
+func (c *resultCache) get(key string) (solver.WireReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).rep, true
+	}
+	c.misses++
+	return solver.WireReport{}, false
+}
+
+// put stores a report computed outside do.  Incomplete reports are
+// rejected for the same reason do never stores them.
+func (c *resultCache) put(key string, rep solver.WireReport) {
+	if !rep.Complete || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

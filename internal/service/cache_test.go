@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func completeReport(makespan int64) solver.WireReport {
+	return solver.WireReport{Solver: "test", Makespan: makespan, Complete: true}
+}
+
+func TestCacheHitAvoidsRecompute(t *testing.T) {
+	c := newResultCache(4)
+	calls := 0
+	compute := func() (solver.WireReport, error) {
+		calls++
+		return completeReport(7), nil
+	}
+	ctx := context.Background()
+	rep, cached, err := c.do(ctx, "k", compute)
+	if err != nil || cached || rep.Makespan != 7 {
+		t.Fatalf("first do = (%+v, %v, %v); want a computed miss", rep, cached, err)
+	}
+	rep, cached, err = c.do(ctx, "k", compute)
+	if err != nil || !cached || rep.Makespan != 7 {
+		t.Fatalf("second do = (%+v, %v, %v); want a cache hit", rep, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times; want 1", calls)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, size 1", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.do(ctx, key, func() (solver.WireReport, error) {
+			return completeReport(int64(i)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			// Touch k0 so k1 becomes the eviction victim.
+			if _, cached, _ := c.do(ctx, "k0", nil); !cached {
+				t.Fatal("k0 should still be cached")
+			}
+		}
+	}
+	if _, cached, _ := c.do(ctx, "k0", func() (solver.WireReport, error) {
+		return completeReport(0), nil
+	}); !cached {
+		t.Fatal("recently-used k0 was evicted")
+	}
+	recomputed := false
+	if _, cached, _ := c.do(ctx, "k1", func() (solver.WireReport, error) {
+		recomputed = true
+		return completeReport(1), nil
+	}); cached || !recomputed {
+		t.Fatal("least-recently-used k1 should have been evicted")
+	}
+	if st := c.stats(); st.Evictions == 0 || st.Size > 2 {
+		t.Fatalf("stats = %+v; want evictions recorded and size <= capacity", st)
+	}
+}
+
+func TestCacheDoesNotStoreIncompleteOrFailed(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.do(ctx, "err", func() (solver.WireReport, error) {
+		return solver.WireReport{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, _, err := c.do(ctx, "partial", func() (solver.WireReport, error) {
+		return solver.WireReport{Solver: "test", Complete: false}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"err", "partial"} {
+		recomputed := false
+		if _, _, err := c.do(ctx, key, func() (solver.WireReport, error) {
+			recomputed = true
+			return completeReport(1), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !recomputed {
+			t.Fatalf("%s was cached; only complete error-free reports may be", key)
+		}
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(4)
+	const waiters = 15
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	// One computing caller enters first and blocks inside compute.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderRep solver.WireReport
+	var leaderCached bool
+	go func() {
+		defer wg.Done()
+		rep, cached, err := c.do(context.Background(), "hot", func() (solver.WireReport, error) {
+			calls.Add(1)
+			close(started)
+			<-gate
+			return completeReport(9), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		leaderRep, leaderCached = rep, cached
+	}()
+	<-started
+
+	// The waiters join while the flight is provably still open; each
+	// increments Coalesced before blocking, so polling the counter makes
+	// "everyone is waiting" observable without racing the flight.
+	results := make([]solver.WireReport, waiters)
+	cachedFlags := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, cached, err := c.do(context.Background(), "hot", func() (solver.WireReport, error) {
+				calls.Add(1)
+				return completeReport(9), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], cachedFlags[i] = rep, cached
+		}(i)
+	}
+	for c.stats().Coalesced < waiters {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrent identical requests; want 1", n)
+	}
+	if leaderCached || leaderRep.Makespan != 9 {
+		t.Fatalf("leader = (%+v, cached %v); want to have computed", leaderRep, leaderCached)
+	}
+	for i := range results {
+		if results[i].Makespan != 9 {
+			t.Fatalf("waiter %d got %+v", i, results[i])
+		}
+		if !cachedFlags[i] {
+			t.Fatalf("waiter %d recomputed instead of coalescing", i)
+		}
+	}
+	if st := c.stats(); st.Coalesced != waiters || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want %d coalesced waiters on 1 miss", st, waiters)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newResultCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.do(context.Background(), "slow", func() (solver.WireReport, error) {
+			close(started)
+			<-gate
+			return completeReport(1), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.do(ctx, "slow", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v; want context.Canceled", err)
+	}
+	close(gate)
+	<-done
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.put("k", solver.WireReport{Solver: "test", Complete: false})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("incomplete reports must not be stored")
+	}
+	c.put("k", completeReport(5))
+	rep, ok := c.get("k")
+	if !ok || rep.Makespan != 5 {
+		t.Fatalf("get after put = (%+v, %v); want the stored report", rep, ok)
+	}
+	// put fills the same LRU that do uses: eviction still applies.
+	c.put("k2", completeReport(2))
+	c.put("k3", completeReport(3))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("put must evict beyond capacity")
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want get/put counted alongside do", st)
+	}
+
+	// do sees entries stored by put, and vice versa.
+	if _, cached, err := c.do(context.Background(), "k3", nil); err != nil || !cached {
+		t.Fatalf("do must hit an entry stored by put (cached=%v, err=%v)", cached, err)
+	}
+}
+
+func TestCacheGetDoesNotJoinFlights(t *testing.T) {
+	c := newResultCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.do(context.Background(), "slow", func() (solver.WireReport, error) {
+			close(started)
+			<-gate
+			return completeReport(1), nil
+		})
+	}()
+	<-started
+	// A deadline-bounded caller must not block on (or share) the flight.
+	if _, ok := c.get("slow"); ok {
+		t.Fatal("get returned a result for a still-computing flight")
+	}
+	close(gate)
+	<-done
+	if rep, ok := c.get("slow"); !ok || rep.Makespan != 1 {
+		t.Fatal("get must see the flight's result once completed and stored")
+	}
+}
+
+func TestCacheDisabledStillCoalesces(t *testing.T) {
+	c := newResultCache(0)
+	ctx := context.Background()
+	calls := 0
+	compute := func() (solver.WireReport, error) {
+		calls++
+		return completeReport(3), nil
+	}
+	for i := 0; i < 2; i++ {
+		if _, cached, err := c.do(ctx, "k", compute); err != nil || cached {
+			t.Fatalf("disabled cache must recompute (cached=%v, err=%v)", cached, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d; want 2 with storage disabled", calls)
+	}
+	if st := c.stats(); st.Size != 0 || st.Capacity != 0 {
+		t.Fatalf("stats = %+v; want empty cache", st)
+	}
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func TestPoolRunsJobsAndCounts(t *testing.T) {
+	p := newPool(2)
+	defer p.close()
+	for i := 0; i < 5; i++ {
+		rep, err := p.do(context.Background(), func(*worker) (solver.WireReport, error) {
+			return solver.WireReport{Solver: "test", Makespan: int64(i)}, nil
+		})
+		if err != nil || rep.Makespan != int64(i) {
+			t.Fatalf("job %d = (%+v, %v)", i, rep, err)
+		}
+	}
+	st := p.stats()
+	if st.Workers != 2 || st.Jobs != 5 {
+		t.Fatalf("stats = %+v; want 2 workers, 5 jobs", st)
+	}
+}
+
+func TestPoolAdmissionHonorsContext(t *testing.T) {
+	p := newPool(1)
+	defer p.close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _ = p.do(context.Background(), func(*worker) (solver.WireReport, error) {
+			close(started)
+			<-gate
+			return solver.WireReport{}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.do(ctx, func(*worker) (solver.WireReport, error) {
+		t.Error("job ran despite canceled admission")
+		return solver.WireReport{}, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled while queued", err)
+	}
+	close(gate)
+}
+
+func TestPoolRecoversSolvePanics(t *testing.T) {
+	p := newPool(1)
+	defer p.close()
+	_, err := p.do(context.Background(), func(*worker) (solver.WireReport, error) {
+		panic("solver bug")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "solver bug") {
+		t.Fatalf("err = %v; want the panic converted to an error", err)
+	}
+	// The worker must have survived the panic and still serve jobs.
+	rep, err := p.do(context.Background(), func(*worker) (solver.WireReport, error) {
+		return solver.WireReport{Solver: "test", Makespan: 4, Complete: true}, nil
+	})
+	if err != nil || rep.Makespan != 4 {
+		t.Fatalf("post-panic job = (%+v, %v); the worker must keep serving", rep, err)
+	}
+}

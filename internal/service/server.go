@@ -1,0 +1,302 @@
+// Package service implements rtserve's long-running HTTP/JSON solving
+// service over the unified solver registry: a bounded worker pool of
+// long-lived solvers, a canonical-hash-keyed LRU result cache with
+// single-flight de-duplication, and wire-level validation that turns every
+// malformed input into a 400 instead of a panic.
+//
+// Endpoints:
+//
+//	POST /v1/solve    one solve, or a batch under {"batch": [...]}
+//	GET  /v1/solvers  registry listing with capabilities
+//	GET  /v1/stats    cache/pool/request counters
+//	GET  /healthz     liveness
+//
+// Solves are pure functions of (instance, solver, options), so the cache
+// key is core.Instance.CanonicalHash plus the solver name and
+// Options.CacheKey; identical requests — across clients, across time,
+// or duplicated inside one batch — compute at most once.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers sizes the solve pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries caps the result LRU; 0 means the 1024 default, < 0
+	// disables caching (single-flight de-duplication stays on).
+	CacheEntries int
+	// MaxBodyBytes caps request bodies; <= 0 means the 8 MiB default.
+	MaxBodyBytes int64
+}
+
+// Defaults for Config zero values.
+const (
+	defaultCacheEntries = 1024
+	defaultMaxBody      = 8 << 20
+)
+
+// Server is the solving service.  Create with New, expose via Handler,
+// release the worker pool with Close.
+type Server struct {
+	pool    *pool
+	cache   *resultCache
+	mux     *http.ServeMux
+	start   time.Time
+	maxBody int64
+
+	requests atomic.Int64
+
+	// encBufs pools canonical-encoding scratch across handler goroutines,
+	// so steady-state instance hashing does not allocate (the request-path
+	// twin of the pool's long-lived-worker reuse).
+	encBufs sync.Pool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	entries := cfg.CacheEntries
+	switch {
+	case entries == 0:
+		entries = defaultCacheEntries
+	case entries < 0:
+		entries = 0
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	s := &Server{
+		pool:    newPool(cfg.Workers),
+		cache:   newResultCache(entries),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		maxBody: maxBody,
+		encBufs: sync.Pool{New: func() any { return new([]byte) }},
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool; in-flight solves finish first.
+func (s *Server) Close() { s.pool.close() }
+
+// hashInstance computes the canonical hash through the pooled scratch.
+func (s *Server) hashInstance(inst *core.Instance) string {
+	bufp := s.encBufs.Get().(*[]byte)
+	*bufp = inst.AppendCanonical((*bufp)[:0])
+	sum := sha256.Sum256(*bufp)
+	s.encBufs.Put(bufp)
+	return hex.EncodeToString(sum[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures past the header are unrecoverable mid-stream; the
+	// types here marshal unconditionally.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, SolversResponse{Solvers: solver.Infos()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Requests: s.requests.Load(),
+		Cache:    s.cache.stats(),
+		Pool:     s.pool.stats(),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	s.requests.Add(1)
+	var env solveEnvelope
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(env.Batch) > 0 {
+		if len(env.Instance) > 0 {
+			writeError(w, http.StatusBadRequest, "request has both a batch and an inline instance; send one or the other")
+			return
+		}
+		// Fan the items out under a semaphore: solves are bounded by the
+		// pool anyway, but decoding/hashing ahead of it is not free, and a
+		// single maximum-size body of tiny items must not turn into tens
+		// of thousands of parked goroutines — that would be exactly the
+		// hidden unbounded queue the pool's admission control exists to
+		// prevent.
+		resp := BatchResponse{Results: make([]SolveResponse, len(env.Batch))}
+		sem := make(chan struct{}, 2*len(s.pool.workers))
+		var wg sync.WaitGroup
+		for i := range env.Batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				resp.Results[i], _ = s.solveOne(r.Context(), env.Batch[i])
+			}(i)
+		}
+		wg.Wait()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp, status := s.solveOne(r.Context(), env.SolveRequest)
+	writeJSON(w, status, resp)
+}
+
+// solveOne validates, hashes, and solves a single request through the
+// cache and pool, returning the response and the HTTP status a
+// single-solve endpoint should use for it (batch items embed the error
+// per item instead).
+func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse, int) {
+	start := time.Now()
+	fail := func(status int, format string, args ...any) (SolveResponse, int) {
+		return SolveResponse{
+			Error:  fmt.Sprintf(format, args...),
+			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}, status
+	}
+
+	name := req.Solver
+	if name == "" {
+		name = "auto"
+	}
+	if len(req.Instance) == 0 {
+		return fail(http.StatusBadRequest, "missing instance")
+	}
+	var inst core.Instance
+	if err := json.Unmarshal(req.Instance, &inst); err != nil {
+		return fail(http.StatusBadRequest, "invalid instance: %v", err)
+	}
+	opts, err := req.Options.Resolve(start)
+	if err != nil {
+		return fail(http.StatusBadRequest, "invalid options: %v", err)
+	}
+	sv, err := solver.Get(name)
+	if err != nil {
+		return fail(http.StatusBadRequest, "%v", err)
+	}
+	if err := solver.ValidateOptions(sv, opts); err != nil {
+		return fail(http.StatusBadRequest, "%v", err)
+	}
+
+	hash := s.hashInstance(&inst)
+	key := name + "|" + hash + "|" + opts.CacheKey()
+	solve := func(solveCtx context.Context) (solver.WireReport, error) {
+		return s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
+			r, err := solver.SolveOptions(solveCtx, name, &inst, opts)
+			if r == nil {
+				return solver.WireReport{}, err
+			}
+			return r.Wire(), err
+		})
+	}
+	var (
+		rep    solver.WireReport
+		cached bool
+	)
+	if opts.Deadline.IsZero() {
+		// Deadline-free requests share work: identical concurrent requests
+		// coalesce onto one flight and the result enters the LRU.  The
+		// flight computes under a context detached from this requester, so
+		// one client disconnecting cannot poison the identical requests
+		// (and the future cache entries) riding on its flight; each waiter
+		// still honors its own context while waiting.
+		rep, cached, err = s.cache.do(ctx, key, func() (solver.WireReport, error) {
+			return solve(context.WithoutCancel(ctx))
+		})
+	} else {
+		// Deadline-bounded requests may legitimately end truncated, and a
+		// truncation is shaped by THIS request's deadline — it must be
+		// neither shared with nor inherited from anyone else.  They read
+		// the cache (a complete result satisfies any deadline), solve
+		// under their own context otherwise, and contribute complete
+		// results back.
+		rep, cached = s.cache.get(key)
+		if !cached {
+			rep, err = solve(ctx)
+			if err == nil {
+				s.cache.put(key, rep)
+			}
+		}
+	}
+
+	resp := SolveResponse{
+		Hash:          hash,
+		Cached:        cached,
+		InstanceNodes: inst.G.NumNodes(),
+		InstanceArcs:  inst.G.NumEdges(),
+		WallMS:        float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if rep.Solver != "" {
+		resp.Report = &rep
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		switch {
+		case resp.Report != nil:
+			// A partial result (deadline-interrupted solve, or the
+			// immediate lower-bound-only report of a dead-on-arrival
+			// deadline) is an answer, not a server failure.
+			return resp, http.StatusOK
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return resp, http.StatusServiceUnavailable
+		default:
+			return resp, http.StatusBadRequest
+		}
+	}
+	return resp, http.StatusOK
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"encoding/json"
+
+	"repro/internal/solver"
+)
+
+// SolveRequest is one solve over the wire: an instance in the core JSON
+// form, a solver name, and options.
+type SolveRequest struct {
+	// Solver is the registry name to dispatch to; empty means "auto".
+	Solver string `json:"solver,omitempty"`
+	// Instance is the core.Instance wire document ({nodes, edges}).  Kept
+	// raw so batch items decode (and fail) independently.
+	Instance json.RawMessage `json:"instance"`
+	// Options carries the solve knobs; the request-level deadline inside
+	// it is anchored when the request is admitted.
+	Options solver.WireOptions `json:"options,omitempty"`
+}
+
+// solveEnvelope is the body of POST /v1/solve: either a single
+// SolveRequest inline, or a batch of them under "batch".
+type solveEnvelope struct {
+	SolveRequest
+	Batch []SolveRequest `json:"batch,omitempty"`
+}
+
+// SolveResponse is the outcome of one solve request.
+type SolveResponse struct {
+	// Hash is the canonical instance hash (core.Instance.CanonicalHash),
+	// the identity under which the result was cached.
+	Hash string `json:"hash,omitempty"`
+	// Cached reports that the response was served from the result cache
+	// or coalesced onto an identical in-flight solve, not recomputed.
+	Cached bool `json:"cached"`
+	// WallMS is the wall time this request spent in the service (queueing
+	// included); the solve's own compute time is Report.WallMS.
+	WallMS float64 `json:"wall_ms"`
+	// InstanceNodes and InstanceArcs size the decoded instance.
+	InstanceNodes int `json:"instance_nodes,omitempty"`
+	InstanceArcs  int `json:"instance_arcs,omitempty"`
+	// Report is the solve outcome; nil when Error is set and no partial
+	// result exists.
+	Report *solver.WireReport `json:"report,omitempty"`
+	// Error is the failure, if any.  A partial (deadline-interrupted)
+	// solve carries both an incomplete Report and an Error.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch solve; Results aligns with the request's
+// Batch order.  Item failures are reported per item, not as an HTTP error:
+// one malformed instance must not void its batch-mates.
+type BatchResponse struct {
+	Results []SolveResponse `json:"results"`
+}
+
+// SolversResponse answers GET /v1/solvers.
+type SolversResponse struct {
+	Solvers []solver.Info `json:"solvers"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	UptimeMS float64 `json:"uptime_ms"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS float64    `json:"uptime_ms"`
+	Requests int64      `json:"requests"`
+	Cache    CacheStats `json:"cache"`
+	Pool     PoolStats  `json:"pool"`
+}
+
+// errorResponse is the JSON error envelope for non-200 answers.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/duration"
+	"repro/internal/exact"
 	"repro/internal/sp"
 )
 
@@ -235,11 +236,17 @@ type Solver interface {
 // solver's capabilities, applies the deadline, runs the solver and stamps
 // the wall time.  It is the single entry point commands and examples use.
 func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option) (*Report, error) {
+	return SolveOptions(ctx, name, inst, NewOptions(opts...))
+}
+
+// SolveOptions is Solve with an already-resolved Options value: the entry
+// point for callers that decode options from a wire form (WireOptions)
+// instead of composing functional options.
+func SolveOptions(ctx context.Context, name string, inst *core.Instance, o Options) (*Report, error) {
 	s, err := Get(name)
 	if err != nil {
 		return nil, err
 	}
-	o := NewOptions(opts...)
 	if err := checkOptions(s, o); err != nil {
 		return nil, err
 	}
@@ -249,6 +256,21 @@ func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option
 		defer cancel()
 	}
 	start := time.Now()
+	// A context that is dead on arrival (a past deadline, or a parent that
+	// was already canceled) must not burn a scheduling round-trip through
+	// the solver: return the context error immediately, carrying a
+	// lower-bound-only Report so the caller still learns something sound
+	// about the optimum.
+	if err := ctx.Err(); err != nil {
+		rep := &Report{Solver: s.Name(), Objective: o.Objective()}
+		if o.Objective() == MinResource {
+			rep.LowerBound = float64(exact.ResourceLowerBound(inst, o.Target))
+		} else {
+			rep.LowerBound = float64(exact.BudgetedMakespanLowerBound(inst, o.Budget))
+		}
+		rep.Wall = time.Since(start)
+		return rep, err
+	}
 	rep, err := s.Solve(ctx, inst, o)
 	if rep != nil {
 		rep.Wall = time.Since(start)
@@ -267,6 +289,11 @@ func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option
 	}
 	return rep, err
 }
+
+// ValidateOptions rejects option/capability mismatches up front with an
+// actionable error, without running anything.  Services use it to fail
+// requests before they are queued.
+func ValidateOptions(s Solver, o Options) error { return checkOptions(s, o) }
 
 // checkOptions rejects option/capability mismatches up front with an
 // actionable error.

@@ -212,6 +212,54 @@ func TestCanceledContextAbortsExactWithPartialReport(t *testing.T) {
 	}
 }
 
+func TestPastDeadlineReturnsImmediateLowerBoundReport(t *testing.T) {
+	// Regression test: a deadline already in the past used to burn a full
+	// scheduling round-trip (spinning up the branch-and-bound frontier and
+	// worker pool) before the first cooperative poll noticed the dead
+	// context.  Solve must now return the context error immediately, with
+	// a lower-bound-only Report and zero search nodes.
+	inst := gen.New(7).KWayInstance(5, 5, 3, 400)
+	for name, opt := range map[string]Option{
+		"budget": WithBudget(40),
+		// The tightest possible target forces resources onto every
+		// critical-path arc, so the slack-based resource bound is positive.
+		"target": WithTarget(inst.MakespanLowerBound()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			rep, err := Solve(context.Background(), "exact", inst,
+				opt, WithDeadline(time.Now().Add(-time.Second)))
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v; want context.DeadlineExceeded", err)
+			}
+			if rep == nil {
+				t.Fatal("want a lower-bound-only Report alongside the error")
+			}
+			if rep.Nodes != 0 {
+				t.Fatalf("Nodes = %d; a dead-on-arrival solve must not search", rep.Nodes)
+			}
+			if rep.Complete || rep.Exact {
+				t.Fatal("a dead-on-arrival solve must not claim completeness")
+			}
+			if rep.Sol.Flow != nil {
+				t.Fatal("no solution can exist; Report must be lower-bound-only")
+			}
+			if rep.LowerBound <= 0 {
+				t.Fatalf("LowerBound = %v; want a positive sound bound", rep.LowerBound)
+			}
+			if rep.Solver != "exact" {
+				t.Fatalf("Solver = %q; want %q", rep.Solver, "exact")
+			}
+			// The instance needs seconds of uninterrupted search; anywhere
+			// near that means the round-trip was burned after all.
+			if elapsed > time.Second {
+				t.Fatalf("dead-on-arrival solve took %v; want an immediate return", elapsed)
+			}
+		})
+	}
+}
+
 func TestPreCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

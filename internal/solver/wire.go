@@ -1,0 +1,158 @@
+package solver
+
+// This file holds the wire forms of the solver API: JSON-decodable
+// options, registry introspection records, and a JSON-encodable Report.
+// They are the vocabulary of cmd/rtserve's HTTP endpoints, kept here so
+// any transport (HTTP today, a queue consumer tomorrow) decodes options
+// and encodes reports identically.
+
+import (
+	"fmt"
+	"time"
+)
+
+// WireOptions is the JSON wire form of the solve options.  Pointer fields
+// distinguish "absent" from zero: a budget of 0 is a meaningful request
+// (no resources at all), so it must not collapse into "no budget".
+type WireOptions struct {
+	// Budget selects min-makespan mode under a resource budget.
+	Budget *int64 `json:"budget,omitempty"`
+	// Target selects min-resource mode under a makespan target.
+	Target *int64 `json:"target,omitempty"`
+	// Alpha is the bi-criteria rounding parameter in (0,1); absent means
+	// the 0.5 default.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// MaxNodes caps the exact search; 0 uses the search's default.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Parallelism sizes the worker pool of parallel solvers.
+	Parallelism int `json:"parallelism,omitempty"`
+	// DeadlineMS bounds the solve wall time, in milliseconds from the
+	// moment the request is resolved; 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Resolve converts the wire form into resolved Options, anchoring the
+// relative deadline at now.  Values that no solver could accept are
+// rejected here; capability-dependent checks (mode support, parallelism)
+// stay in ValidateOptions.
+func (w WireOptions) Resolve(now time.Time) (Options, error) {
+	o := NewOptions()
+	if w.Budget != nil {
+		if *w.Budget < 0 {
+			return o, fmt.Errorf("solver: negative budget %d", *w.Budget)
+		}
+		o.Budget = *w.Budget
+	}
+	if w.Target != nil {
+		if *w.Target < 0 {
+			return o, fmt.Errorf("solver: negative target %d", *w.Target)
+		}
+		o.Target = *w.Target
+	}
+	if w.Alpha != nil {
+		if !(*w.Alpha > 0 && *w.Alpha < 1) { // also rejects NaN
+			return o, fmt.Errorf("solver: alpha %v outside (0,1)", *w.Alpha)
+		}
+		o.Alpha = *w.Alpha
+	}
+	if w.MaxNodes < 0 {
+		return o, fmt.Errorf("solver: negative max_nodes %d", w.MaxNodes)
+	}
+	o.MaxNodes = w.MaxNodes
+	o.Parallelism = w.Parallelism
+	if w.DeadlineMS < 0 {
+		return o, fmt.Errorf("solver: negative deadline_ms %d", w.DeadlineMS)
+	}
+	if w.DeadlineMS > 0 {
+		o.Deadline = now.Add(time.Duration(w.DeadlineMS) * time.Millisecond)
+	}
+	return o, nil
+}
+
+// CacheKey renders the result-relevant options canonically, for use in
+// result-cache keys alongside the instance hash and solver name.  The
+// deadline is deliberately excluded: it determines whether a result
+// arrives in time, never what the result is, and interrupted (incomplete)
+// results are not cacheable in the first place.  Parallelism IS included:
+// the optimum value is parallelism-independent, but the witness flow of a
+// parallel search need not be, and a cache must return byte-identical
+// reports.
+func (o Options) CacheKey() string {
+	return fmt.Sprintf("b%d.t%d.a%g.n%d.p%d", o.Budget, o.Target, o.Alpha, o.MaxNodes, o.Parallelism)
+}
+
+// Info is the JSON-encodable description of one registered solver: its
+// name plus its declared capabilities, the registry introspection record
+// behind rtserve's /v1/solvers.
+type Info struct {
+	Name               string   `json:"name"`
+	Budget             bool     `json:"budget"`
+	Target             bool     `json:"target"`
+	Exact              bool     `json:"exact"`
+	SeriesParallelOnly bool     `json:"series_parallel_only,omitempty"`
+	Parallel           bool     `json:"parallel,omitempty"`
+	Classes            []string `json:"classes,omitempty"`
+	Guarantee          string   `json:"guarantee"`
+}
+
+// NewInfo captures a solver's name and capabilities.
+func NewInfo(s Solver) Info {
+	caps := s.Capabilities()
+	return Info{
+		Name:               s.Name(),
+		Budget:             caps.Budget,
+		Target:             caps.Target,
+		Exact:              caps.Exact,
+		SeriesParallelOnly: caps.SeriesParallelOnly,
+		Parallel:           caps.Parallel,
+		Classes:            caps.Classes,
+		Guarantee:          caps.Guarantee,
+	}
+}
+
+// Infos describes every registered solver, sorted by name.
+func Infos() []Info {
+	solvers := List()
+	infos := make([]Info, len(solvers))
+	for i, s := range solvers {
+		infos[i] = NewInfo(s)
+	}
+	return infos
+}
+
+// WireReport is the JSON wire form of a Report.
+type WireReport struct {
+	Solver     string  `json:"solver"`
+	Routing    string  `json:"routing,omitempty"`
+	Objective  string  `json:"objective"`
+	Makespan   int64   `json:"makespan"`
+	Resources  int64   `json:"resources"`
+	Flow       []int64 `json:"flow,omitempty"`
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	Guarantee  string  `json:"guarantee,omitempty"`
+	Exact      bool    `json:"exact"`
+	Complete   bool    `json:"complete"`
+	// Nodes counts exact-search nodes expanded (0 for LP solvers).
+	Nodes int `json:"nodes,omitempty"`
+	// WallMS is the wall time of the solve that produced this report; a
+	// cache hit carries the original compute time, not the lookup time.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Wire converts the report for JSON transport.
+func (r *Report) Wire() WireReport {
+	return WireReport{
+		Solver:     r.Solver,
+		Routing:    r.Routing,
+		Objective:  r.Objective.String(),
+		Makespan:   r.Sol.Makespan,
+		Resources:  r.Sol.Value,
+		Flow:       r.Sol.Flow,
+		LowerBound: r.LowerBound,
+		Guarantee:  r.Guarantee,
+		Exact:      r.Exact,
+		Complete:   r.Complete,
+		Nodes:      r.Nodes,
+		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+	}
+}
