@@ -1,0 +1,125 @@
+package rtt
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/relax"
+	"repro/internal/scenario"
+	"repro/internal/solver"
+)
+
+// BenchmarkScaleFrankWolfe solves a ~1.3k-arc general layered DAG through
+// the registry's scale tier; the reported metrics expose solution quality
+// next to the speed (ratio = makespan / certified bound).
+func BenchmarkScaleFrankWolfe(b *testing.B) {
+	budget := int64(40)
+	spec := scenario.Spec{Name: "bench", Family: "layered", Seed: 42,
+		Params: scenario.Params{"layers": 24, "width": 18, "extra": 12, "tuples": 4, "maxt0": 40, "maxr": 5},
+		Budget: &budget}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *solver.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = solver.Solve(context.Background(), "frankwolfe", inst, solver.WithBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Sol.Makespan), "makespan")
+	b.ReportMetric(rep.ApproxRatioUpperBound, "ratio_bound")
+}
+
+// BenchmarkRelaxSolverReuse measures steady-state relaxation solves
+// through one reused relax.Solver (the per-worker pattern): the scratch
+// buffers make repeat solves allocation-light, which the allocs/op gate
+// in CI watches.
+func BenchmarkRelaxSolverReuse(b *testing.B) {
+	budget := int64(12)
+	spec := scenario.Spec{Name: "bench", Family: "diamondmesh", Seed: 7,
+		Params: scenario.Params{"rows": 8, "cols": 8, "tuples": 3, "maxt0": 20, "maxr": 3},
+		Budget: &budget}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := relax.NewSolver(inst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MinMakespan(context.Background(), budget, relax.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioBuild materializes every family at default parameters:
+// the fixed cost each corpus verification and property-test draw pays.
+func BenchmarkScenarioBuild(b *testing.B) {
+	for _, f := range scenario.Families() {
+		b.Run(f.Name, func(b *testing.B) {
+			budget := int64(5)
+			spec := scenario.Spec{Name: "bench", Family: f.Name, Seed: 11, Budget: &budget}
+			b.ReportAllocs()
+			var arcs int
+			for i := 0; i < b.N; i++ {
+				inst, err := spec.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				arcs = inst.G.NumEdges()
+			}
+			b.ReportMetric(float64(arcs), "arcs")
+		})
+	}
+}
+
+// BenchmarkAutoRouteLarge exercises auto's size-based routing end to end
+// on a DAG past the dense-LP cap: route decision plus frankwolfe solve.
+func BenchmarkAutoRouteLarge(b *testing.B) {
+	budget := int64(30)
+	spec := scenario.Spec{Name: "bench", Family: "racetrace", Seed: 13,
+		Params: scenario.Params{"cells": 150, "updates": 600, "maxsrcs": 3, "reducer": 1},
+		Budget: &budget}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := solver.Solve(context.Background(), "auto", inst, solver.WithBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && rep.Solver != "frankwolfe" {
+			b.Fatalf("auto routed %d-arc instance to %s (%s); want frankwolfe", inst.G.NumEdges(), rep.Solver, rep.Routing)
+		}
+	}
+}
+
+// BenchmarkCanonicalHash measures the cache-identity hash on a mid-size
+// instance with the reusable encoding buffer.
+func BenchmarkCanonicalHash(b *testing.B) {
+	budget := int64(5)
+	spec := scenario.Spec{Name: "bench", Family: "layered", Seed: 3,
+		Params: scenario.Params{"layers": 12, "width": 10, "extra": 6, "tuples": 4, "maxt0": 30, "maxr": 4},
+		Budget: &budget}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("arcs=%d", inst.G.NumEdges()), func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = inst.AppendCanonical(buf[:0])
+		}
+		_ = buf
+	})
+}

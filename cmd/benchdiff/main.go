@@ -2,22 +2,25 @@
 // compares later runs against it, failing on aggregate regressions.  It is
 // the core of CI's benchmark-regression gate.
 //
-//	go test -bench . -benchtime=3x -count=3 -run='^$' ./... > bench.txt
+//	go test -bench . -benchmem -benchtime=3x -count=3 -run='^$' ./... > bench.txt
 //	benchdiff -record -in bench.txt -out BENCH_baseline.json
-//	benchdiff -baseline BENCH_baseline.json -new bench_new.json -threshold 1.30
+//	benchdiff -baseline BENCH_baseline.json -new bench_new.json -threshold 1.30 -alloc-threshold 1.15
 //
-// Recording parses `ns/op` lines, strips the -GOMAXPROCS suffix, and keeps
-// the MINIMUM across repetitions of each benchmark: the minimum is the
-// least noisy location statistic for benchmark times (noise on shared CI
-// runners is strictly additive).
+// Recording parses `ns/op` (and, when present, `allocs/op`) lines, strips
+// the -GOMAXPROCS suffix, and keeps the MINIMUM across repetitions of each
+// benchmark: the minimum is the least noisy location statistic for
+// benchmark times (noise on shared CI runners is strictly additive).
 //
 // Comparison computes the geometric mean of the per-benchmark new/old
-// ratios over the benchmarks present on both sides, and exits nonzero if
-// it exceeds the threshold.  A geomean over everything, rather than a
-// per-benchmark gate, keeps single-benchmark jitter from failing builds
-// while still catching a real across-the-board slowdown; per-benchmark
-// outliers are printed so a local regression is visible in the log even
-// when the gate passes.
+// ratios over the benchmarks present on both sides and exits nonzero if it
+// exceeds the threshold.  Times and allocations are gated SEPARATELY:
+// ns/op wobbles with the runner's neighbors, so its threshold is loose;
+// allocs/op is a deterministic count on a 1-core container, so its
+// threshold can be tight and catches "someone dropped the buffer reuse"
+// regressions that hide inside timing noise.  Zero-allocation benchmarks
+// are compared through (allocs+1), keeping 0 -> 0 a clean ratio of 1 and
+// 0 -> N a real regression.  Per-benchmark outliers are printed so a
+// local regression is visible in the log even when the gate passes.
 package main
 
 import (
@@ -33,19 +36,29 @@ import (
 	"strconv"
 )
 
-// Baseline is the committed benchmark record.
-type Baseline struct {
-	Schema int `json:"schema"`
-	// Unit is what the numbers measure; always ns/op today.
-	Unit string `json:"unit"`
-	// Benchmarks maps benchmark name (sub-benchmarks included, CPU suffix
-	// stripped) to its minimum observed ns/op.
-	Benchmarks map[string]float64 `json:"benchmarks"`
+// Record is one benchmark's recorded measurements.
+type Record struct {
+	// NsOp is the minimum observed ns/op.
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp is the minimum observed allocs/op; -1 when the run did not
+	// report allocations (-benchmem absent).
+	AllocsOp float64 `json:"allocs_op"`
 }
 
-// benchLine matches `BenchmarkName-8   3   123456 ns/op ...` including
-// sub-benchmarks and extra ReportMetric columns after ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	// Schema 2 stores ns/op and allocs/op per benchmark; schema 1 (ns/op
+	// only, plain map) is still read for old baselines.
+	Schema int `json:"schema"`
+	// Benchmarks maps benchmark name (sub-benchmarks included, CPU suffix
+	// stripped) to its record.
+	Benchmarks map[string]Record `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  3  123456 ns/op  99 B/op  4 allocs/op`
+// including sub-benchmarks, extra ReportMetric columns, and runs without
+// -benchmem (the B/op and allocs/op groups are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
 
 func main() {
 	log.SetFlags(0)
@@ -55,7 +68,8 @@ func main() {
 	out := flag.String("out", "", "JSON output for -record (default stdout)")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to compare against")
 	newPath := flag.String("new", "", "fresh baseline JSON (from -record) to compare")
-	threshold := flag.Float64("threshold", 1.30, "max allowed geomean ratio new/old")
+	threshold := flag.Float64("threshold", 1.30, "max allowed geomean ratio new/old for ns/op")
+	allocThreshold := flag.Float64("alloc-threshold", 1.15, "max allowed geomean ratio new/old for allocs/op")
 	flag.Parse()
 
 	switch {
@@ -64,7 +78,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *baselinePath != "" && *newPath != "":
-		ok, err := doCompare(*baselinePath, *newPath, *threshold)
+		ok, err := doCompare(*baselinePath, *newPath, *threshold, *allocThreshold)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,9 +91,10 @@ func main() {
 	}
 }
 
-// parseBench reads `go test -bench` text and returns min ns/op per name.
-func parseBench(r *os.File) (map[string]float64, error) {
-	mins := make(map[string]float64)
+// parseBench reads `go test -bench` text and returns min ns/op and min
+// allocs/op per name.
+func parseBench(r *os.File) (map[string]Record, error) {
+	mins := make(map[string]Record)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -91,9 +106,24 @@ func parseBench(r *os.File) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
 		}
-		if prev, ok := mins[m[1]]; !ok || ns < prev {
-			mins[m[1]] = ns
+		allocs := -1.0
+		if m[3] != "" {
+			if allocs, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
 		}
+		rec, seen := mins[m[1]]
+		if !seen {
+			mins[m[1]] = Record{NsOp: ns, AllocsOp: allocs}
+			continue
+		}
+		if ns < rec.NsOp {
+			rec.NsOp = ns
+		}
+		if allocs >= 0 && (rec.AllocsOp < 0 || allocs < rec.AllocsOp) {
+			rec.AllocsOp = allocs
+		}
+		mins[m[1]] = rec
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -118,7 +148,7 @@ func doRecord(inPath, outPath string) error {
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(Baseline{Schema: 1, Unit: "ns/op", Benchmarks: mins}, "", "  ")
+	data, err := json.MarshalIndent(Baseline{Schema: 2, Benchmarks: mins}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -136,8 +166,21 @@ func loadBaseline(path string) (Baseline, error) {
 	if err != nil {
 		return b, err
 	}
-	if err := json.Unmarshal(data, &b); err != nil {
-		return b, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(data, &b); err != nil || b.Schema < 2 {
+		// Schema 1 stored a plain name -> ns/op map; read it so freshly
+		// updated checkouts can still compare against an old committed
+		// baseline.
+		var v1 struct {
+			Schema     int                `json:"schema"`
+			Benchmarks map[string]float64 `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(data, &v1); err != nil {
+			return b, fmt.Errorf("%s: %w", path, err)
+		}
+		b = Baseline{Schema: 1, Benchmarks: make(map[string]Record, len(v1.Benchmarks))}
+		for name, ns := range v1.Benchmarks {
+			b.Benchmarks[name] = Record{NsOp: ns, AllocsOp: -1}
+		}
 	}
 	if len(b.Benchmarks) == 0 {
 		return b, fmt.Errorf("%s: no benchmarks recorded", path)
@@ -145,7 +188,36 @@ func loadBaseline(path string) (Baseline, error) {
 	return b, nil
 }
 
-func doCompare(basePath, newPath string, threshold float64) (bool, error) {
+// gate is one metric's aggregate comparison.
+type gate struct {
+	label     string
+	threshold float64
+	logSum    float64
+	n         int
+}
+
+func (g *gate) add(ratio float64) {
+	g.logSum += math.Log(ratio)
+	g.n++
+}
+
+// verdict prints the geomean and reports pass/fail.
+func (g *gate) verdict() bool {
+	if g.n == 0 {
+		return true
+	}
+	geomean := math.Exp(g.logSum / float64(g.n))
+	fmt.Printf("geomean %s ratio over %d benchmarks: %.3f (threshold %.3f)\n",
+		g.label, g.n, geomean, g.threshold)
+	if geomean > g.threshold {
+		fmt.Printf("FAIL: aggregate %s regression of %.1f%% exceeds the %.1f%% gate\n",
+			g.label, (geomean-1)*100, (g.threshold-1)*100)
+		return false
+	}
+	return true
+}
+
+func doCompare(basePath, newPath string, threshold, allocThreshold float64) (bool, error) {
 	base, err := loadBaseline(basePath)
 	if err != nil {
 		return false, err
@@ -156,23 +228,31 @@ func doCompare(basePath, newPath string, threshold float64) (bool, error) {
 	}
 
 	type row struct {
-		name       string
-		old, fresh float64
-		ratio      float64
+		name        string
+		old, fresh  Record
+		ratio       float64 // ns/op
+		allocsRatio float64 // -1 when either side lacks allocations
 	}
 	var rows []row
-	var logSum float64
-	for name, oldNS := range base.Benchmarks {
-		newNS, ok := fresh.Benchmarks[name]
+	nsGate := &gate{label: "ns/op", threshold: threshold}
+	allocGate := &gate{label: "allocs/op", threshold: allocThreshold}
+	for name, oldRec := range base.Benchmarks {
+		newRec, ok := fresh.Benchmarks[name]
 		if !ok {
 			fmt.Printf("WARN  %-50s missing from the new run\n", name)
 			continue
 		}
-		if oldNS <= 0 || newNS <= 0 {
+		if oldRec.NsOp <= 0 || newRec.NsOp <= 0 {
 			continue
 		}
-		r := row{name: name, old: oldNS, fresh: newNS, ratio: newNS / oldNS}
-		logSum += math.Log(r.ratio)
+		r := row{name: name, old: oldRec, fresh: newRec, ratio: newRec.NsOp / oldRec.NsOp, allocsRatio: -1}
+		nsGate.add(r.ratio)
+		if oldRec.AllocsOp >= 0 && newRec.AllocsOp >= 0 {
+			// +1 smoothing keeps zero-allocation benchmarks comparable:
+			// 0 -> 0 is ratio 1, 0 -> 9 is a visible 10x.
+			r.allocsRatio = (newRec.AllocsOp + 1) / (oldRec.AllocsOp + 1)
+			allocGate.add(r.allocsRatio)
+		}
 		rows = append(rows, r)
 	}
 	for name := range fresh.Benchmarks {
@@ -185,23 +265,33 @@ func doCompare(basePath, newPath string, threshold float64) (bool, error) {
 	}
 
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
-	fmt.Printf("%-50s %14s %14s %8s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "RATIO")
+	fmt.Printf("%-50s %14s %14s %8s %10s %10s %8s\n",
+		"BENCHMARK", "OLD ns/op", "NEW ns/op", "RATIO", "OLD allocs", "NEW allocs", "RATIO")
 	for _, r := range rows {
 		marker := ""
 		if r.ratio > threshold {
-			marker = "  <-- regressed"
+			marker = "  <-- time regressed"
 		}
-		fmt.Printf("%-50s %14.1f %14.1f %8.3f%s\n", r.name, r.old, r.fresh, r.ratio, marker)
+		if r.allocsRatio > allocThreshold {
+			marker += "  <-- allocs regressed"
+		}
+		oldA, newA := "-", "-"
+		ratioA := "-"
+		if r.allocsRatio >= 0 {
+			oldA = strconv.FormatFloat(r.old.AllocsOp, 'f', 0, 64)
+			newA = strconv.FormatFloat(r.fresh.AllocsOp, 'f', 0, 64)
+			ratioA = strconv.FormatFloat(r.allocsRatio, 'f', 3, 64)
+		}
+		fmt.Printf("%-50s %14.1f %14.1f %8.3f %10s %10s %8s%s\n",
+			r.name, r.old.NsOp, r.fresh.NsOp, r.ratio, oldA, newA, ratioA, marker)
 	}
+	fmt.Println()
 
-	geomean := math.Exp(logSum / float64(len(rows)))
-	fmt.Printf("\ngeomean ratio over %d benchmarks: %.3f (threshold %.3f)\n",
-		len(rows), geomean, threshold)
-	if geomean > threshold {
-		fmt.Printf("FAIL: aggregate benchmark regression of %.1f%% exceeds the %.1f%% gate\n",
-			(geomean-1)*100, (threshold-1)*100)
-		return false, nil
+	nsOK := nsGate.verdict()
+	allocOK := allocGate.verdict()
+	if nsOK && allocOK {
+		fmt.Println("PASS")
+		return true, nil
 	}
-	fmt.Println("PASS")
-	return true, nil
+	return false, nil
 }

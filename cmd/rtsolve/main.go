@@ -105,6 +105,10 @@ func printReport(rep *solver.Report) {
 	if rep.LowerBound > 0 {
 		fmt.Printf("bound:    %v >= %.2f\n", rep.Objective, rep.LowerBound)
 	}
+	if rep.ApproxRatioUpperBound > 0 {
+		fmt.Printf("ratio:    <= %.3f (vs certified relaxation bound %.2f)\n",
+			rep.ApproxRatioUpperBound, rep.LPLowerBound)
+	}
 	if rep.Nodes > 0 {
 		fmt.Printf("search:   %d nodes, complete %v\n", rep.Nodes, rep.Complete)
 	}

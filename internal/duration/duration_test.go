@@ -271,3 +271,19 @@ func TestHelpers(t *testing.T) {
 		t.Fatalf("MinTime = %d", MinTime(f))
 	}
 }
+
+// TestWireKWayCap locks the DoS hardening found by FuzzCanonicalHash: a
+// tiny wire document must not be able to materialize a gigabyte of
+// breakpoints through an astronomically large kway T0.
+func TestWireKWayCap(t *testing.T) {
+	if _, err := FromSpec(Spec{Kind: KindKWay, T0: MaxWireKWayT0 + 1}); err == nil {
+		t.Fatal("kway spec beyond the wire cap was accepted")
+	}
+	fn, err := FromSpec(Spec{Kind: KindKWay, T0: MaxWireKWayT0})
+	if err != nil {
+		t.Fatalf("kway spec at the cap rejected: %v", err)
+	}
+	if got := fn.Eval(0); got != MaxWireKWayT0 {
+		t.Fatalf("Eval(0) = %d", got)
+	}
+}

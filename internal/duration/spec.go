@@ -22,6 +22,16 @@ const (
 	KindBinary = "binary"
 )
 
+// MaxWireKWayT0 caps the T0 a wire "kway" spec may carry.  NewKWay
+// materializes floor(sqrt(T0)) breakpoints, so an unchecked 19-digit T0 in
+// a 40-byte JSON document would demand gigabytes of tuples - a
+// denial-of-service vector for any service decoding untrusted instances
+// (found by FuzzCanonicalHash, which the allocation OOM-killed).  The cap
+// still allows 4096 breakpoints per job, far beyond realistic cell
+// in-degrees; "step" pays per tuple in document bytes and "binary" grows
+// logarithmically, so neither needs a cap.
+const MaxWireKWayT0 = 1 << 24
+
 // FromSpec instantiates the duration function a Spec describes.
 func FromSpec(s Spec) (Func, error) {
 	switch s.Kind {
@@ -33,6 +43,10 @@ func FromSpec(s Spec) (Func, error) {
 	case KindStep:
 		return NewStep(s.Tuples)
 	case KindKWay:
+		if s.T0 > MaxWireKWayT0 {
+			return nil, fmt.Errorf("duration: kway spec T0 %d exceeds the wire cap %d (would materialize %d breakpoints)",
+				s.T0, int64(MaxWireKWayT0), isqrt(s.T0))
+		}
 		return NewKWay(s.T0), nil
 	case KindBinary:
 		return NewRecursiveBinary(s.T0), nil

@@ -109,7 +109,16 @@ const inf = int64(1) << 60
 // MaxFlow runs Dinic's algorithm from s to t and returns the max-flow
 // value.  It may be called repeatedly (e.g. after modifying capacities);
 // each call augments the current flow.
+//
+// s == t returns 0: a degenerate query, but one that arises naturally -
+// the min-flow reduction runs a t-to-s cancellation phase, and a
+// single-node instance (source == sink, no arcs) is wire-legal.  Without
+// the guard the DFS would "augment" an infinite-capacity empty path
+// forever (found by FuzzCanonicalHash).
 func (d *Dinic) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
 	var total int64
 	for d.bfs(s, t) {
 		for i := range d.iter {

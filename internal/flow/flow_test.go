@@ -303,3 +303,22 @@ func covered(flows, lower []int64) bool {
 	}
 	return true
 }
+
+// TestMaxFlowSourceIsSink locks the degenerate-query guard: a max-flow
+// from a node to itself must return 0 instead of augmenting an empty
+// infinite-capacity path forever.  Found by FuzzCanonicalHash via the
+// single-node instance, whose min-flow cancellation phase runs
+// MaxFlow(t, s) with t == s.
+func TestMaxFlowSourceIsSink(t *testing.T) {
+	d := NewDinic(2)
+	d.AddArc(0, 1, 7)
+	if got := d.MaxFlow(0, 0); got != 0 {
+		t.Fatalf("MaxFlow(0,0) = %d; want 0", got)
+	}
+	g := dag.New()
+	g.AddNode("only")
+	res, err := MinFlow(g, nil, 0, 0)
+	if err != nil || res.Value != 0 {
+		t.Fatalf("MinFlow on the single-node graph = %+v, %v; want zero flow", res, err)
+	}
+}

@@ -21,6 +21,13 @@ type Gen struct {
 // New returns a generator with the given seed.
 func New(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
 
+// Intn exposes the generator's deterministic stream for callers composing
+// their own shapes (the scenario families build DAG layouts with it).
+func (g *Gen) Intn(n int) int { return g.rng.Intn(n) }
+
+// Int63n is Intn for int64 ranges.
+func (g *Gen) Int63n(n int64) int64 { return g.rng.Int63n(n) }
+
 // Layered builds a single-source single-sink DAG with the given number of
 // internal layers and layer width; extra controls additional random
 // cross-layer arcs beyond the spanning ones.

@@ -122,38 +122,24 @@ func (p *Problem) Solve() (Solution, error) {
 // SolveCtx is Solve with cooperative cancellation: the pivot loop polls
 // ctx periodically and aborts with ctx.Err() when it is done, so
 // long-running relaxations become interruptible and deadline-bounded.
+//
+// All solve scratch (tableau, reduced costs, basis) comes from a pooled
+// workspace, so repeated solves - per approximation pipeline, per service
+// worker - reuse their arenas instead of reallocating them.
 func (p *Problem) SolveCtx(ctx context.Context) (Solution, error) {
 	m := len(p.rows)
-	// Column layout: [0,n) structural, [n, n+slack) slack/surplus,
-	// [n+slack, total) artificial.
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+
+	// Pass 1: determine each row's operator after sign normalization and
+	// count the slack and artificial columns.  Artificial variables: every
+	// row gets one if, after normalization, it lacks a natural basic
+	// column.  We keep it simple: GE and EQ rows always get artificials;
+	// LE rows with negative b are flipped to GE first.
 	nSlack, nArt := 0, 0
 	for _, r := range p.rows {
-		switch r.op {
-		case LE, GE:
-			nSlack++
-		}
-	}
-	// Artificial variables: every row gets one if, after sign
-	// normalization, it lacks a natural basic column.  We keep it simple:
-	// GE and EQ rows always get artificials; LE rows with negative b are
-	// flipped to GE first.
-	type nrow struct {
-		coef []float64
-		b    float64
-		op   Op
-	}
-	norm := make([]nrow, m)
-	for i, r := range p.rows {
-		coef := make([]float64, p.n)
-		for _, t := range r.terms {
-			coef[t.Var] += t.Coef
-		}
-		b, op := r.b, r.op
-		if b < 0 {
-			for j := range coef {
-				coef[j] = -coef[j]
-			}
-			b = -b
+		op := r.op
+		if r.b < 0 {
 			switch op {
 			case LE:
 				op = GE
@@ -161,43 +147,65 @@ func (p *Problem) SolveCtx(ctx context.Context) (Solution, error) {
 				op = LE
 			}
 		}
-		norm[i] = nrow{coef: coef, b: b, op: op}
+		switch op {
+		case LE, GE:
+			nSlack++
+		}
 		if op == GE || op == EQ {
 			nArt++
 		}
 	}
+	// Column layout: [0,n) structural, [n, n+slack) slack/surplus,
+	// [n+slack, total) artificial.
 	nCols := p.n + nSlack + nArt
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	// Arena demand: the tableau rows, two objective vectors, and the
+	// simplex's reduced-cost row.
+	ws.prepare(m*(nCols+1)+2*nCols+(nCols+1), m, m)
+
+	tab := ws.rowSlice(m)
+	basis := ws.intSlice(m)
 	slackAt, artAt := p.n, p.n+nSlack
-	for i, r := range norm {
-		tab[i] = make([]float64, nCols+1)
-		copy(tab[i], r.coef)
-		tab[i][nCols] = r.b
-		switch r.op {
+	for i, r := range p.rows {
+		row := ws.floats(nCols + 1)
+		tab[i] = row
+		sign, b, op := 1.0, r.b, r.op
+		if b < 0 {
+			sign, b = -1, -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		for _, t := range r.terms {
+			row[t.Var] += sign * t.Coef
+		}
+		row[nCols] = b
+		switch op {
 		case LE:
-			tab[i][slackAt] = 1
+			row[slackAt] = 1
 			basis[i] = slackAt
 			slackAt++
 		case GE:
-			tab[i][slackAt] = -1
+			row[slackAt] = -1
 			slackAt++
-			tab[i][artAt] = 1
+			row[artAt] = 1
 			basis[i] = artAt
 			artAt++
 		case EQ:
-			tab[i][artAt] = 1
+			row[artAt] = 1
 			basis[i] = artAt
 			artAt++
 		}
 	}
 	artStart := p.n + nSlack
 
-	s := &simplex{tab: tab, basis: basis, nCols: nCols, ctx: ctx}
+	s := &simplex{tab: tab, basis: basis, nCols: nCols, ctx: ctx, zbuf: ws.floats(nCols + 1)}
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		phase1 := make([]float64, nCols)
+		phase1 := ws.floats(nCols)
 		for j := artStart; j < nCols; j++ {
 			phase1[j] = 1
 		}
@@ -233,7 +241,7 @@ func (p *Problem) SolveCtx(ctx context.Context) (Solution, error) {
 	s.forbidden = artStart // artificials may never re-enter
 
 	// Phase 2: the real objective.
-	full := make([]float64, nCols)
+	full := ws.floats(nCols)
 	copy(full, p.obj)
 	obj, err := s.run(full, -1)
 	if err != nil {
@@ -260,6 +268,7 @@ type simplex struct {
 	nCols     int
 	forbidden int // columns >= forbidden may not enter (0 = none forbidden)
 	z         []float64
+	zbuf      []float64 // reduced-cost row scratch, reused across phases
 	ctx       context.Context
 }
 
@@ -273,8 +282,9 @@ func (s *simplex) run(obj []float64, maxIter int) (float64, error) {
 	// Reduced-cost row: z[j] = obj[j] - sum over basic rows of
 	// obj[basis[i]] * tab[i][j]; with the tableau kept in canonical form
 	// this is exact.
-	z := make([]float64, nCols+1)
+	z := s.zbuf
 	copy(z, obj)
+	z[nCols] = 0
 	for i, bv := range s.basis {
 		c := obj[bv]
 		if c == 0 {

@@ -235,3 +235,35 @@ func TestRandomAgainstEnumeration(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkSolveReuse measures steady-state solving of one LP shape: with
+// the pooled workspace the tableau arenas are reused across solves, so
+// allocs/op stays flat regardless of problem size (the allocs gate in CI
+// watches this).
+func BenchmarkSolveReuse(b *testing.B) {
+	build := func() *Problem {
+		// A chain-structured LP shaped like the makespan relaxations:
+		// 40 variables, ~80 mixed constraints.
+		p := New(40)
+		for i := 0; i < 39; i++ {
+			p.AddConstraint(LE, []Term{{Var: i, Coef: 1}, {Var: i + 1, Coef: -0.5}}, float64(5+i%7))
+			p.AddConstraint(GE, []Term{{Var: i, Coef: 1}, {Var: i + 1, Coef: 1}}, 1)
+		}
+		for i := 0; i < 40; i++ {
+			p.SetObjective(i, 1+float64(i%3))
+		}
+		return p
+	}
+	p := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

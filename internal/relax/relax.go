@@ -1,0 +1,639 @@
+// Package relax is the scale tier's relaxation engine: it solves the
+// makespan relaxation of Section 3.1 (LP 6-10) on instances far beyond the
+// reach of the dense simplex in internal/lp, and rounds the fractional
+// solution with the Theorem 3.4 threshold rule.
+//
+// Instead of materializing the two-tuple expansion D” and handing a dense
+// tableau to simplex - O((m+n)^2) memory, hopeless past a few hundred arcs -
+// it works directly on the original instance with the per-arc LOWER CONVEX
+// ENVELOPE of the duration breakpoints.  Filling the expansion's parallel
+// chains in slope order is exactly linear interpolation along that
+// envelope, so
+//
+//	phi(f) = longest path under envelope durations d^_e(f_e)
+//
+// minimized over fractional flows of value at most B is a sound relaxation
+// (the envelope minorizes the step function pointwise, so no integral flow
+// can beat it), and phi is convex in f (a maximum over paths of sums of
+// convex per-arc functions).  The envelope model forces the canonical
+// chain-filling order of Lemma 3.1, so its optimum is at least the
+// expansion LP's - the certified bounds here are never weaker than the
+// dense LP's, and are often strictly tighter.  The minimization runs as
+// Frank-Wolfe:
+//
+//   - the subgradient of phi at f is the envelope slope on the arcs of one
+//     critical path (zero elsewhere);
+//   - the linear minimization oracle over the flow polytope {value <= B,
+//     f >= 0} is a single min-cost source-to-sink path under those
+//     (non-positive) slopes - O(m) on a DAG by topological sweep;
+//   - every iterate certifies a LOWER bound on the relaxation optimum via
+//     convexity: phi(f) + min_y <g, y - f> <= relax* <= OPT, so the reported
+//     bound is sound even when the (non-smooth) iteration stalls.
+//
+// Each iteration costs O(m); a 50k-arc instance solves in well under a
+// second where the dense LP would need hundreds of gigabytes.
+//
+// A Solver is built once per instance and reuses all scratch - flow
+// vectors, duration and event-time buffers, oracle DP arrays, and the
+// integral flow.MinFlowSolver used by rounding - across solves, the same
+// per-worker state-reuse pattern as the branch-and-bound's MinFlowSolver:
+// give each worker its own Solver; one Solver is not safe for concurrent
+// use.
+package relax
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/duration"
+	"repro/internal/exact"
+	"repro/internal/flow"
+)
+
+// Options tunes one relaxation solve.
+type Options struct {
+	// Alpha is the Theorem 3.4 threshold-rounding parameter in (0,1); the
+	// rounded solution has makespan <= RelaxValue/Alpha using at most
+	// B/(1-Alpha) resources.  Zero means the 0.5 default.
+	Alpha float64
+	// MaxIters caps Frank-Wolfe iterations; 0 picks a default scaled to
+	// the instance so large solves stay in the "seconds" regime.
+	MaxIters int
+	// Tol is the relative duality-gap stopping tolerance; 0 means 1%.
+	Tol float64
+}
+
+func (o Options) withDefaults(m int) Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.01
+	}
+	if o.MaxIters == 0 {
+		// Budget roughly constant total work (~20e6 arc-touches for the
+		// Frank-Wolfe loop): 50k-arc instances get a few hundred
+		// iterations and stay in the seconds regime, smaller instances
+		// iterate until the duality gap closes (the tolerance stop fires
+		// long before the cap on easy instances).
+		o.MaxIters = 20_000_000 / (m + 1)
+		if o.MaxIters > 2400 {
+			o.MaxIters = 2400
+		}
+		if o.MaxIters < 96 {
+			o.MaxIters = 96
+		}
+	}
+	return o
+}
+
+// Result is the outcome of one relaxation solve plus rounding.
+type Result struct {
+	// Sol is the rounded integral solution on the original instance.
+	Sol core.Solution
+	// RelaxValue is the best relaxation objective reached (an upper bound
+	// on the relaxation optimum); the rounded makespan is at most
+	// RelaxValue/Alpha.
+	RelaxValue float64
+	// LowerBound is the certified lower bound on the optimal makespan
+	// (budget mode) or optimal resource usage (target mode): the best of
+	// the Frank-Wolfe duality certificate and the combinatorial
+	// budget-floor bound.  It is sound regardless of convergence and
+	// positive whenever the optimum is.
+	LowerBound float64
+	// Iters counts Frank-Wolfe iterations actually run.
+	Iters int
+}
+
+// Solver solves the envelope relaxation on one fixed instance repeatedly,
+// reusing all scratch buffers across solves.  Not safe for concurrent use;
+// give each worker its own.
+type Solver struct {
+	inst  *core.Instance
+	order []int // topological node order
+
+	// Per-arc lower convex envelope in CSR form: arc e owns hull points
+	// [segStart[e], segStart[e+1]) of (hullR, hullT), with slope[j] the
+	// (negative) slope of the segment starting at point j.
+	segStart []int32
+	hullR    []int64
+	hullT    []int64
+	slope    []float64
+
+	// Frank-Wolfe scratch, all sized once and reused.
+	f, fbest, ftmp  []float64 // flows per arc
+	cost            []float64 // oracle costs (subgradient) per arc
+	avgCost         []float64 // running sum of subgradients (see below)
+	tval, dist      []float64 // event times / oracle DP values per node
+	critArc, oraArc []int32   // predecessor arcs for backtracking
+	pathBuf         []int32   // critical / oracle path scratch
+	req             []int64   // rounded per-arc lower bounds
+
+	mf *flow.MinFlowSolver
+}
+
+// NewSolver builds the reusable relaxation state for inst: the topological
+// order, the per-arc duration envelopes, and the integral min-flow network
+// used by rounding.  The instance must not change afterwards.
+func NewSolver(inst *core.Instance) *Solver {
+	g := inst.G
+	n, m := g.NumNodes(), g.NumEdges()
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err) // instance was validated
+	}
+	s := &Solver{
+		inst:     inst,
+		order:    order,
+		segStart: make([]int32, m+1),
+		f:        make([]float64, m),
+		fbest:    make([]float64, m),
+		ftmp:     make([]float64, m),
+		cost:     make([]float64, m),
+		avgCost:  make([]float64, m),
+		tval:     make([]float64, n),
+		dist:     make([]float64, n),
+		critArc:  make([]int32, n),
+		oraArc:   make([]int32, n),
+		req:      make([]int64, m),
+		mf:       flow.NewMinFlowSolver(g, inst.Source, inst.Sink),
+	}
+	for e := 0; e < m; e++ {
+		s.appendHull(inst.Fns[e].Tuples())
+		s.segStart[e+1] = int32(len(s.hullR))
+	}
+	return s
+}
+
+// appendHull pushes the lower convex hull of the canonical breakpoints
+// onto the CSR arrays.  Tuples arrive with strictly increasing R and
+// strictly decreasing T (duration.Func's contract), so the hull is the
+// subsequence with strictly increasing segment slopes (Andrew's monotone
+// chain, lower half).  Hull points are real breakpoints, so rounding to a
+// hull vertex always lands on an achievable resource level, and the hull
+// minorizes the step function, so envelope makespans lower-bound real ones.
+func (s *Solver) appendHull(tuples []duration.Tuple) {
+	base := len(s.hullR)
+	for _, tp := range tuples {
+		// Pop hull points that are no longer on the lower hull: keep
+		// slopes strictly increasing.  Cross-product form avoids division.
+		for len(s.hullR)-base >= 2 {
+			i, j := len(s.hullR)-2, len(s.hullR)-1
+			// slope(i,j) >= slope(j,new)  <=>  (Tj-Ti)(Rnew-Rj) >= (Tnew-Tj)(Rj-Ri)
+			if (s.hullT[j]-s.hullT[i])*(tp.R-s.hullR[j]) >= (tp.T-s.hullT[j])*(s.hullR[j]-s.hullR[i]) {
+				s.hullR = s.hullR[:j]
+				s.hullT = s.hullT[:j]
+				s.slope = s.slope[:len(s.slope)-1]
+				continue
+			}
+			break
+		}
+		if len(s.hullR) > base {
+			j := len(s.hullR) - 1
+			s.slope = append(s.slope, float64(tp.T-s.hullT[j])/float64(tp.R-s.hullR[j]))
+		}
+		s.hullR = append(s.hullR, tp.R)
+		s.hullT = append(s.hullT, tp.T)
+	}
+}
+
+// envelope evaluates the convex-envelope duration of arc e at flow x and
+// reports the slope of the containing segment (the subgradient; 0 past the
+// last hull point).  Hull points per arc are few, so a linear scan wins.
+func (s *Solver) envelope(e int, x float64) (dur, grad float64) {
+	lo, hi := int(s.segStart[e]), int(s.segStart[e+1])
+	j := lo
+	for j+1 < hi && float64(s.hullR[j+1]) <= x {
+		j++
+	}
+	if j+1 >= hi { // at or past the last hull point
+		return float64(s.hullT[hi-1]), 0
+	}
+	sg := s.slope[s.slopeBase(e)+(j-lo)]
+	return float64(s.hullT[j]) + sg*(x-float64(s.hullR[j])), sg
+}
+
+// slopeBase returns the index of arc e's first segment slope in s.slope.
+// Each arc with p hull points owns p-1 slopes, so the base is
+// segStart[e] - e... which only holds when every arc has at least one
+// point; arcs always do, but single-point arcs own zero slopes, so the
+// base must be accumulated.  To keep the lookup O(1) the bases are not
+// stored separately: slope entries are appended in arc order, so the base
+// is segStart[e] minus the number of arcs preceding e, i.e. segStart[e]-e.
+func (s *Solver) slopeBase(e int) int { return int(s.segStart[e]) - e }
+
+// makespan computes the longest-path value under envelope durations of fx,
+// optionally recording the predecessor arc per node for critical-path
+// backtracking.
+func (s *Solver) makespan(fx []float64, track bool) float64 {
+	g := s.inst.G
+	for i := range s.tval {
+		s.tval[i] = 0
+	}
+	if track {
+		for i := range s.critArc {
+			s.critArc[i] = -1
+		}
+	}
+	for _, v := range s.order {
+		tv := s.tval[v]
+		for _, e := range g.Out(v) {
+			d, _ := s.envelope(e, fx[e])
+			w := g.Edge(e).To
+			if cand := tv + d; cand > s.tval[w] {
+				s.tval[w] = cand
+				if track {
+					s.critArc[w] = int32(e)
+				}
+			}
+		}
+	}
+	return s.tval[s.inst.Sink]
+}
+
+// criticalPath appends the arcs of one critical path (sink to source) to
+// pathBuf, using the predecessors recorded by makespan(track=true).
+func (s *Solver) criticalPath() []int32 {
+	s.pathBuf = s.pathBuf[:0]
+	g := s.inst.G
+	v := s.inst.Sink
+	for v != s.inst.Source {
+		e := s.critArc[v]
+		if e < 0 {
+			// The sink is reached by a zero-duration prefix the DP never
+			// tightened; walk any incoming arc (durations there are 0 on
+			// this path, so the subgradient contribution is unaffected).
+			e = int32(g.In(v)[0])
+		}
+		s.pathBuf = append(s.pathBuf, e)
+		v = g.Edge(int(e)).From
+	}
+	return s.pathBuf
+}
+
+// oracle solves the linear minimization min <cost, y> over the flow
+// polytope {y >= 0, value(y) <= B}: route all B units along the single
+// min-cost source-to-sink path, or route nothing if even the best path
+// costs >= 0.  Costs are non-positive here, so the sweep needs no
+// negative-cycle care (the graph is a DAG).  It returns the best path cost
+// c* (<= 0); the chosen path is left in oraArc predecessors.
+func (s *Solver) oracle(cost []float64) float64 {
+	g := s.inst.G
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+	}
+	s.dist[s.inst.Source] = 0
+	for i := range s.oraArc {
+		s.oraArc[i] = -1
+	}
+	for _, v := range s.order {
+		dv := s.dist[v]
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		for _, e := range g.Out(v) {
+			w := g.Edge(e).To
+			if cand := dv + cost[e]; cand < s.dist[w] {
+				s.dist[w] = cand
+				s.oraArc[w] = int32(e)
+			}
+		}
+	}
+	return s.dist[s.inst.Sink]
+}
+
+// MinMakespan solves the envelope relaxation under the resource budget and
+// rounds the best fractional flow to an integral solution.  The returned
+// Result carries the certified relaxation lower bound: a sound lower bound
+// on the optimal makespan at this budget.
+func (s *Solver) MinMakespan(ctx context.Context, budget int64, opt Options) (*Result, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("relax: negative budget %d", budget)
+	}
+	o := opt.withDefaults(s.inst.G.NumEdges())
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		return nil, fmt.Errorf("relax: alpha %v outside (0,1)", o.Alpha)
+	}
+	res := &Result{}
+	ferr := s.frankWolfe(ctx, budget, o, res)
+	if ferr != nil && res.Iters == 0 {
+		// Canceled before the first iterate: nothing to round.
+		return nil, ferr
+	}
+	// The duality certificate needs the iteration to get close before it
+	// is tight; the combinatorial floor (every arc at its budget-best
+	// duration - sound because on a DAG no arc can carry more than the
+	// whole budget) is free, always positive when the optimum is, and
+	// often the better bound early.  Report the max of the two.
+	if floor := float64(exact.BudgetedMakespanLowerBound(s.inst, budget)); floor > res.LowerBound {
+		res.LowerBound = floor
+	}
+	sol, err := s.round(budget, o.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	res.Sol = sol
+	// An interrupted iteration still rounds its best iterate: the caller
+	// gets a usable (if less converged) solution alongside the context
+	// error, mirroring the exact search's partial-report contract.
+	return res, ferr
+}
+
+// frankWolfe runs the Frank-Wolfe loop at the given budget, leaving the
+// best fractional flow in s.fbest and filling res's relaxation fields.
+func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *Result) error {
+	m := s.inst.G.NumEdges()
+	for e := 0; e < m; e++ {
+		s.f[e] = 0
+		s.fbest[e] = 0
+		s.cost[e] = 0
+		s.avgCost[e] = 0
+	}
+	bestObj := math.Inf(1)
+	bestLB := 0.0
+	// constSum accumulates phi(f_k) - <g_k, f_k> for the averaged
+	// certificate below.
+	constSum := 0.0
+	B := float64(budget)
+
+	for k := 0; k < o.MaxIters; k++ {
+		if k&7 == 0 {
+			if err := ctx.Err(); err != nil {
+				if !math.IsInf(bestObj, 1) {
+					res.Iters = k
+					res.RelaxValue = bestObj
+					res.LowerBound = bestLB
+				}
+				return err
+			}
+		}
+		phi := s.makespan(s.f, true)
+		if phi < bestObj {
+			bestObj = phi
+			copy(s.fbest, s.f)
+		}
+
+		// Subgradient: envelope slopes on one critical path, zero
+		// elsewhere.  s.cost is all-zero outside the path (restored at the
+		// end of each iteration), so only path arcs are touched.
+		path := s.criticalPath()
+		gdotf := 0.0
+		for _, e := range path {
+			_, gr := s.envelope(int(e), s.f[e])
+			s.cost[e] = gr
+			s.avgCost[e] += gr
+			gdotf += gr * s.f[e]
+		}
+		constSum += phi - gdotf
+
+		// Certified bound, averaged form: the mean of the per-iterate
+		// affine minorants phi(f_k) + <g_k, y-f_k> is itself a minorant of
+		// phi, and its averaged costs mix MANY critical paths, so no
+		// single steep path can collapse the bound - this is what closes
+		// the gap on plateaued makespans (wide DAGs, k-way jobs).  The
+		// oracle is linear in the costs, so the running sum works
+		// unscaled: LB = (constSum + B * c*(sum g_k)) / (k+1).
+		if lb := (constSum + B*s.oracle(s.avgCost)) / float64(k+1); lb > bestLB {
+			bestLB = lb
+		}
+		// Per-iterate form: phi(y) >= phi(f) + <g, y-f> for every feasible
+		// y, so phi(f) - <g,f> + B*c* is also a sound bound.  This oracle
+		// call runs LAST: it leaves the Frank-Wolfe step direction in
+		// oraArc for the line search below.
+		cstar := s.oracle(s.cost)
+		if lb := phi - gdotf + B*cstar; lb > bestLB {
+			bestLB = lb
+		}
+		gapOK := bestObj-bestLB <= o.Tol*math.Max(bestLB, 1)
+
+		if gapOK || cstar >= 0 {
+			for _, e := range path {
+				s.cost[e] = 0
+			}
+			res.Iters = k + 1
+			break
+		}
+
+		// Direction s_k: B units along the oracle path (sparse), i.e.
+		// f(gamma) = (1-gamma) f + gamma * B * 1_path.
+		gamma := s.lineSearch(B, k)
+		v := s.inst.Sink
+		for e := 0; e < m; e++ {
+			s.f[e] *= 1 - gamma
+		}
+		for v != s.inst.Source {
+			e := s.oraArc[v]
+			s.f[e] += gamma * B
+			v = s.inst.G.Edge(int(e)).From
+		}
+		for _, e := range path {
+			s.cost[e] = 0
+		}
+		res.Iters = k + 1
+	}
+	if math.IsInf(bestObj, 1) { // MaxIters == 0 cannot happen, but stay safe
+		bestObj = s.makespan(s.f, false)
+		copy(s.fbest, s.f)
+	}
+	res.RelaxValue = bestObj
+	res.LowerBound = bestLB
+	return nil
+}
+
+// lineSearch minimizes phi((1-gamma) f + gamma * B * 1_path) over
+// gamma in [0,1] by golden-section (phi is convex along the segment).  If
+// the search finds no strict improvement it falls back to the classic
+// 2/(k+2) step, which lets the iteration slide past subgradient kinks.
+func (s *Solver) lineSearch(B float64, k int) float64 {
+	eval := func(gamma float64) float64 {
+		for e := range s.ftmp {
+			s.ftmp[e] = (1 - gamma) * s.f[e]
+		}
+		v := s.inst.Sink
+		for v != s.inst.Source {
+			e := s.oraArc[v]
+			s.ftmp[e] += gamma * B
+			v = s.inst.G.Edge(int(e)).From
+		}
+		return s.makespan(s.ftmp, false)
+	}
+	const invPhi = 0.6180339887498949
+	lo, hi := 0.0, 1.0
+	x1 := hi - invPhi*(hi-lo)
+	x2 := lo + invPhi*(hi-lo)
+	f1, f2 := eval(x1), eval(x2)
+	for i := 0; i < 10; i++ {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - invPhi*(hi-lo)
+			f1 = eval(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + invPhi*(hi-lo)
+			f2 = eval(x2)
+		}
+	}
+	gamma := (lo + hi) / 2
+	base := s.makespan(s.f, false)
+	if eval(gamma) < base-1e-9 && gamma > 0 {
+		return gamma
+	}
+	fallback := 2.0 / float64(k+2)
+	if fallback > 1 {
+		fallback = 1
+	}
+	return fallback
+}
+
+// round applies the Theorem 3.4 threshold rule to the best fractional flow
+// and routes an integral minimum flow meeting the rounded requirements.
+//
+// Per arc, the fractional flow sits on envelope segment [R_j, R_j+1) with
+// fraction phi of the segment; phi > 1-alpha rounds up to R_j+1 (duration
+// t_j+1 <= envelope value), else down to R_j (duration t_j <=
+// envelope/alpha because the envelope keeps at least an alpha fraction of
+// t_j).  Either way the rounded requirement is at most f/(1-alpha), so the
+// fractional flow scaled by 1/(1-alpha) is feasible for the min-flow and
+// the integral optimum uses at most floor(B/(1-alpha)) resources, while
+// the makespan is at most RelaxValue/alpha: exactly the paper's bi-criteria
+// guarantee, with the computed relaxation standing in for the LP.
+func (s *Solver) round(budget int64, alpha float64) (core.Solution, error) {
+	m := s.inst.G.NumEdges()
+	for e := 0; e < m; e++ {
+		lo, hi := int(s.segStart[e]), int(s.segStart[e+1])
+		x := s.fbest[e]
+		j := lo
+		for j+1 < hi && float64(s.hullR[j+1]) <= x {
+			j++
+		}
+		if j+1 >= hi {
+			s.req[e] = s.hullR[hi-1]
+			continue
+		}
+		frac := (x - float64(s.hullR[j])) / float64(s.hullR[j+1]-s.hullR[j])
+		if frac > 1-alpha {
+			s.req[e] = s.hullR[j+1]
+		} else {
+			s.req[e] = s.hullR[j]
+		}
+	}
+	res, err := s.mf.Solve(s.req)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	f := append([]int64(nil), res.EdgeFlow...)
+	return s.inst.NewSolution(f)
+}
+
+// MinResource approximately minimizes resource usage under a makespan
+// target: it binary-searches the budget, using the rounded solution for
+// feasibility and the certified relaxation bound for infeasibility, so the
+// returned LowerBound is a sound lower bound on the optimal resource
+// usage.  Probes run with a reduced iteration budget; the final budget is
+// re-solved at full strength.
+func (s *Solver) MinResource(ctx context.Context, target int64, opt Options) (*Result, error) {
+	if target < 0 {
+		return nil, fmt.Errorf("relax: negative target %d", target)
+	}
+	o := opt.withDefaults(s.inst.G.NumEdges())
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		return nil, fmt.Errorf("relax: alpha %v outside (0,1)", o.Alpha)
+	}
+
+	// Saturation check: even unlimited resources cannot beat the all-fastest
+	// longest path, and the min-flow at full saturation is the cheapest way
+	// to realize it.  It doubles as the feasible upper end of the search.
+	for e := 0; e < s.inst.G.NumEdges(); e++ {
+		s.req[e] = s.hullR[int(s.segStart[e+1])-1]
+	}
+	satRes, err := s.mf.Solve(s.req)
+	if err != nil {
+		return nil, err
+	}
+	// The solver owns satRes.EdgeFlow and the searches below will overwrite
+	// it; materialize the saturation solution now.  It is the guaranteed
+	// fallback: its makespan is the unlimited-resource longest path.
+	satSol, err := s.inst.NewSolution(append([]int64(nil), satRes.EdgeFlow...))
+	if err != nil {
+		return nil, err
+	}
+	if satSol.Makespan > target {
+		return nil, fmt.Errorf("relax: makespan target %d unreachable even with unlimited resources (floor %d)", target, satSol.Makespan)
+	}
+	hi := satSol.Value // feasible by construction
+	feasible := int64(-1)
+
+	// The slack-based combinatorial bound is free and often tight on loose
+	// targets; certified relaxation infeasibility tightens it below.
+	resLB := exact.ResourceLowerBound(s.inst, target)
+
+	probe := o
+	probe.MaxIters = o.MaxIters / 4
+	if probe.MaxIters < 24 {
+		probe.MaxIters = 24
+	}
+	lo := int64(0)
+	for lo <= hi {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mid := lo + (hi-lo)/2
+		var pr Result
+		if err := s.frankWolfe(ctx, mid, probe, &pr); err != nil {
+			return nil, err
+		}
+		sol, err := s.round(mid, o.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sol.Makespan <= target:
+			feasible = mid
+			hi = mid - 1
+		default:
+			// Certified infeasibility promotes the probe into a resource
+			// bound: if even the fractional relaxation (or the
+			// combinatorial budget floor) cannot reach the target at this
+			// budget, every solution needs more.
+			if pr.LowerBound <= float64(target) {
+				pr.LowerBound = float64(exact.BudgetedMakespanLowerBound(s.inst, mid))
+			}
+			if pr.LowerBound > float64(target) && mid+1 > resLB {
+				resLB = mid + 1
+			}
+			lo = mid + 1
+		}
+	}
+	res := &Result{}
+	sol := satSol
+	if feasible >= 0 {
+		if err := s.frankWolfe(ctx, feasible, o, res); err != nil {
+			return nil, err
+		}
+		full, err := s.round(feasible, o.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		if full.Makespan > target {
+			// The full-strength re-solve found a different fractional
+			// point whose rounding misses the target; replay the
+			// probe-strength solve that certified feasibility.
+			var pr Result
+			if err := s.frankWolfe(ctx, feasible, probe, &pr); err != nil {
+				return nil, err
+			}
+			if full, err = s.round(feasible, o.Alpha); err != nil {
+				return nil, err
+			}
+		}
+		if full.Makespan <= target && full.Value <= sol.Value {
+			sol = full
+		}
+	}
+	res.Sol = sol
+	res.RelaxValue = float64(sol.Value)
+	res.LowerBound = float64(resLB)
+	return res, nil
+}

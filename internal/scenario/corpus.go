@@ -1,0 +1,76 @@
+package scenario
+
+// The committed corpus under testdata/scenarios/ is a set of CorpusEntry
+// files: a Spec plus the golden solve results recorded when the file was
+// generated.  cmd/rtcorpus regenerates and verifies them; the CI corpus
+// job fails on any drift.
+
+// Golden is one recorded solve outcome for a corpus entry.  Exact solvers
+// are checked for equality; approximate solvers additionally gate on the
+// recorded ratio bound.
+type Golden struct {
+	// Solver is the registry name the result was produced by.
+	Solver string `json:"solver"`
+	// Makespan and Resources are the solution metrics; all registered
+	// solvers are deterministic, so these must reproduce exactly.
+	Makespan  int64 `json:"makespan"`
+	Resources int64 `json:"resources"`
+	// Exact records that the solver proved optimality.
+	Exact bool `json:"exact,omitempty"`
+	// LPLowerBound is the relaxation-certified bound recorded at
+	// generation time (0 when the solver reports none).
+	LPLowerBound float64 `json:"lp_lower_bound,omitempty"`
+	// RatioBound gates quality: the verified approximation ratio must not
+	// exceed it.  Recorded as the measured ratio plus one percent of
+	// headroom, so a quality regression fails CI while benign float
+	// jitter does not.
+	RatioBound float64 `json:"ratio_bound,omitempty"`
+}
+
+// CorpusEntry is the wire form of one committed corpus file.
+type CorpusEntry struct {
+	Spec Spec `json:"spec"`
+	// Hash is the canonical instance hash the spec must rebuild to
+	// (core.Instance.CanonicalHash): the determinism gate.
+	Hash string `json:"hash"`
+	// Nodes and Arcs size the instance, for reports and sanity checks.
+	Nodes int `json:"nodes"`
+	Arcs  int `json:"arcs"`
+	// Golden lists the recorded solve results.
+	Golden []Golden `json:"golden"`
+}
+
+func i64(v int64) *int64 { return &v }
+
+// DefaultCorpus is the committed scenario set: at least one entry per
+// family, spanning every auto route (exact, spdp, the class solvers, the
+// dense bi-criteria LP and the frankwolfe scale tier) and both
+// objectives.  cmd/rtcorpus -init materializes it under
+// testdata/scenarios/.
+func DefaultCorpus() []Spec {
+	return []Spec{
+		{Name: "layered-tiny-exact", Family: "layered", Seed: 101,
+			Params: Params{"layers": 2, "width": 2, "extra": 1, "tuples": 3, "maxt0": 12, "maxr": 3},
+			Budget: i64(4)},
+		{Name: "layered-dense-lp", Family: "layered", Seed: 102, Budget: i64(8)},
+		{Name: "layered-big-fw", Family: "layered", Seed: 103,
+			Params: Params{"layers": 16, "width": 12, "extra": 8, "tuples": 4, "maxt0": 40, "maxr": 5},
+			Budget: i64(60)},
+		{Name: "layered-tiny-target", Family: "layered", Seed: 104,
+			Params: Params{"layers": 2, "width": 2, "extra": 1, "tuples": 3, "maxt0": 12, "maxr": 3},
+			Target: i64(30)},
+		{Name: "forkjoin-kway", Family: "forkjoin", Seed: 105, Budget: i64(6)},
+		{Name: "forkjoin-binary", Family: "forkjoin", Seed: 106,
+			Params: Params{"class": 2, "stages": 3, "width": 4, "maxt0": 30}, Budget: i64(5)},
+		{Name: "randomsp-dp", Family: "randomsp", Seed: 107, Budget: i64(8)},
+		{Name: "randomsp-target", Family: "randomsp", Seed: 108,
+			Params: Params{"leaves": 10, "tuples": 3, "maxt0": 20, "maxr": 3}, Target: i64(60)},
+		{Name: "pipeline-lp", Family: "pipeline", Seed: 109, Budget: i64(6)},
+		{Name: "diamondmesh-lp", Family: "diamondmesh", Seed: 110, Budget: i64(8)},
+		{Name: "matmul-binary", Family: "matmul", Seed: 111, Budget: i64(20)},
+		{Name: "racetrace-kway", Family: "racetrace", Seed: 112, Budget: i64(10)},
+		{Name: "adversarial-round", Family: "adversarial", Seed: 113, Budget: i64(10)},
+		{Name: "adversarial-long", Family: "adversarial", Seed: 114,
+			Params: Params{"diamonds": 40, "t0": 64}, Budget: i64(12)},
+	}
+}

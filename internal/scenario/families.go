@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+	"repro/internal/gen"
+	"repro/internal/racesim"
+)
+
+// reducerKind maps the integer "reducer"/"class" parameter onto the
+// duration classes: 0 plain (no reducer / random steps), 1 k-way, 2
+// recursive binary.
+func reducerKind(v int64) (core.ReducerKind, error) {
+	switch v {
+	case 0:
+		return core.NoReducer, nil
+	case 1:
+		return core.KWayReducer, nil
+	case 2:
+		return core.BinaryReducer, nil
+	}
+	return 0, fmt.Errorf("reducer %d outside {0: none, 1: kway, 2: binary}", v)
+}
+
+func init() {
+	register(Family{
+		Name:       "layered",
+		Desc:       "layered random DAG with random non-increasing step functions",
+		Defaults:   Params{"layers": 6, "width": 5, "extra": 3, "tuples": 4, "maxt0": 30, "maxr": 4},
+		SizeParams: []string{"layers", "width"},
+		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+			return g.StepInstance(int(p.get("layers", def)), int(p.get("width", def)), int(p.get("extra", def)),
+				int(p.get("tuples", def)), p.get("maxt0", def), p.get("maxr", def)), nil
+		},
+	})
+	register(Family{
+		Name:       "forkjoin",
+		Desc:       "fork-join stages; class selects step (0), k-way (1) or binary (2) jobs",
+		Defaults:   Params{"stages": 3, "width": 4, "class": 1, "maxt0": 30},
+		SizeParams: []string{"stages", "width"},
+		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+			kind := duration.KindStep
+			switch p.get("class", def) {
+			case 1:
+				kind = duration.KindKWay
+			case 2:
+				kind = duration.KindBinary
+			}
+			return g.ForkJoin(int(p.get("stages", def)), int(p.get("width", def)), kind, p.get("maxt0", def)), nil
+		},
+	})
+	register(Family{
+		Name:       "randomsp",
+		Desc:       "random two-terminal series-parallel DAG (exact DP reachable)",
+		Defaults:   Params{"leaves": 12, "tuples": 4, "maxt0": 30, "maxr": 4},
+		SizeParams: []string{"leaves"},
+		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+			tree := g.SPTree(int(p.get("leaves", def)), int(p.get("tuples", def)),
+				p.get("maxt0", def), p.get("maxr", def))
+			inst, _, err := tree.ToInstance()
+			return inst, err
+		},
+	})
+	register(Family{
+		Name:       "pipeline",
+		Desc:       "parallel lanes with forward stage crosslinks (software pipeline)",
+		Defaults:   Params{"lanes": 4, "stages": 6, "tuples": 3, "maxt0": 20, "maxr": 3},
+		SizeParams: []string{"lanes", "stages"},
+		build:      buildPipeline,
+	})
+	register(Family{
+		Name:       "diamondmesh",
+		Desc:       "rows x cols grid of diamonds (wavefront/stencil dependences)",
+		Defaults:   Params{"rows": 5, "cols": 5, "tuples": 3, "maxt0": 20, "maxr": 3},
+		SizeParams: []string{"rows", "cols"},
+		build:      buildDiamondMesh,
+	})
+	register(Family{
+		Name:       "matmul",
+		Desc:       "Figure 3 Parallel-MM race DAG with reducers on the output cells",
+		Defaults:   Params{"n": 6, "reducer": 2},
+		SizeParams: []string{"n"},
+		build:      buildMatmul,
+	})
+	register(Family{
+		Name:       "racetrace",
+		Desc:       "random update trace reduced to its race DAG D(P)",
+		Defaults:   Params{"cells": 60, "updates": 180, "maxsrcs": 3, "reducer": 1},
+		SizeParams: []string{"cells", "updates"},
+		build:      buildRaceTrace,
+	})
+	register(Family{
+		Name:       "adversarial",
+		Desc:       "diamond chain of near-threshold step functions hostile to LP rounding",
+		Defaults:   Params{"diamonds": 8, "t0": 64},
+		SizeParams: []string{"diamonds"},
+		build:      buildAdversarial,
+	})
+}
+
+// buildPipeline lays out `lanes` parallel chains of `stages` arcs with
+// zero-cost crosslinks from each stage to the next stage of the adjacent
+// lane: the dependence shape of a software pipeline, where a lane may not
+// start stage k+1 before its neighbor finished stage k.
+func buildPipeline(g *gen.Gen, p, def Params) (*core.Instance, error) {
+	lanes, stages := int(p.get("lanes", def)), int(p.get("stages", def))
+	tuples := int(p.get("tuples", def))
+	maxT0, maxR := p.get("maxt0", def), p.get("maxr", def)
+	d := dag.New()
+	src := d.AddNode("s")
+	var fns []duration.Func
+	node := make([][]int, lanes)
+	for l := 0; l < lanes; l++ {
+		node[l] = make([]int, stages+1)
+		node[l][0] = src
+		for st := 1; st <= stages; st++ {
+			node[l][st] = d.AddNode(fmt.Sprintf("l%d.%d", l, st))
+			d.AddEdge(node[l][st-1], node[l][st])
+			fns = append(fns, g.StepFunc(tuples, maxT0, maxR))
+		}
+	}
+	if lanes > 1 {
+		for l := 0; l < lanes; l++ {
+			for st := 1; st < stages; st++ {
+				d.AddEdge(node[l][st], node[(l+1)%lanes][st+1])
+				fns = append(fns, duration.Constant(0))
+			}
+		}
+	}
+	snk := d.AddNode("t")
+	for l := 0; l < lanes; l++ {
+		d.AddEdge(node[l][stages], snk)
+		fns = append(fns, duration.Constant(0))
+	}
+	return core.NewInstance(d, fns)
+}
+
+// buildDiamondMesh builds the rows x cols grid DAG with right and down
+// arcs: the dependence shape of wavefront computations and stencil
+// updates, where every interior cell is a diamond.
+func buildDiamondMesh(g *gen.Gen, p, def Params) (*core.Instance, error) {
+	rows, cols := int(p.get("rows", def)), int(p.get("cols", def))
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("diamondmesh needs rows, cols >= 2 (got %d x %d)", rows, cols)
+	}
+	tuples := int(p.get("tuples", def))
+	maxT0, maxR := p.get("maxt0", def), p.get("maxr", def)
+	d := dag.New()
+	node := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		node[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			node[r][c] = d.AddNode(fmt.Sprintf("%d.%d", r, c))
+		}
+	}
+	var fns []duration.Func
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				d.AddEdge(node[r][c], node[r][c+1])
+				fns = append(fns, g.StepFunc(tuples, maxT0, maxR))
+			}
+			if r+1 < rows {
+				d.AddEdge(node[r][c], node[r+1][c])
+				fns = append(fns, g.StepFunc(tuples, maxT0, maxR))
+			}
+		}
+	}
+	return core.NewInstance(d, fns)
+}
+
+// buildMatmul reduces the Figure 3 Parallel-MM trace to its race DAG and
+// converts it to activity-on-arc form; the reducer class is the tradeoff
+// under study in the paper's Section 1 example.
+func buildMatmul(g *gen.Gen, p, def Params) (*core.Instance, error) {
+	kind, err := reducerKind(p.get("reducer", def))
+	if err != nil {
+		return nil, err
+	}
+	vi, err := racesim.ParallelMM(int(p.get("n", def))).RaceInstance(kind)
+	if err != nil {
+		return nil, err
+	}
+	af, err := vi.ToArcForm()
+	if err != nil {
+		return nil, err
+	}
+	return af.Inst, nil
+}
+
+// buildRaceTrace draws a random update trace - each update writes a cell
+// and reads up to maxsrcs strictly lower-numbered cells, which keeps the
+// race DAG acyclic - and reduces it to arc form with the chosen reducer.
+func buildRaceTrace(g *gen.Gen, p, def Params) (*core.Instance, error) {
+	cells := int(p.get("cells", def))
+	if cells < 2 {
+		return nil, fmt.Errorf("racetrace needs cells >= 2 (got %d)", cells)
+	}
+	updates := int(p.get("updates", def))
+	maxSrcs := int(p.get("maxsrcs", def))
+	kind, err := reducerKind(p.get("reducer", def))
+	if err != nil {
+		return nil, err
+	}
+	tr := &racesim.Trace{NumCells: cells}
+	for i := 0; i < updates; i++ {
+		dst := 1 + g.Intn(cells-1)
+		n := 1 + g.Intn(maxSrcs)
+		srcs := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			srcs = append(srcs, g.Intn(dst))
+		}
+		tr.Updates = append(tr.Updates, racesim.Update{Dst: dst, Srcs: srcs})
+	}
+	vi, err := tr.RaceInstance(kind)
+	if err != nil {
+		return nil, err
+	}
+	af, err := vi.ToArcForm()
+	if err != nil {
+		return nil, err
+	}
+	return af.Inst, nil
+}
+
+// buildAdversarial chains diamonds whose arcs are engineered against the
+// alpha = 1/2 threshold rounding: one side's single breakpoint sits
+// exactly at half its base duration (the rounding boundary), the other
+// side buys its whole duration with an exponentially growing jump, and a
+// linear staircase arc makes every fractional point of the relaxation
+// fall between breakpoints.
+func buildAdversarial(g *gen.Gen, p, def Params) (*core.Instance, error) {
+	diamonds := int(p.get("diamonds", def))
+	t0 := p.get("t0", def)
+	if t0 < 4 {
+		return nil, fmt.Errorf("adversarial needs t0 >= 4 (got %d)", t0)
+	}
+	d := dag.New()
+	prev := d.AddNode("s")
+	var fns []duration.Func
+	for i := 0; i < diamonds; i++ {
+		next := d.AddNode(fmt.Sprintf("d%d", i))
+		T := t0 + int64(i)
+		// Boundary arc: duration halves at one unit - the rounded-up /
+		// rounded-down decision flips on the tiniest fractional change.
+		d.AddEdge(prev, next)
+		fns = append(fns, duration.MustStep(
+			duration.Tuple{R: 0, T: T},
+			duration.Tuple{R: 1, T: (T + 1) / 2},
+		))
+		// Cliff arc: all-or-nothing at an exponentially growing price.
+		jump := int64(2) << uint(i%6)
+		d.AddEdge(prev, next)
+		fns = append(fns, duration.MustStep(
+			duration.Tuple{R: 0, T: T},
+			duration.Tuple{R: jump, T: 1},
+		))
+		// Staircase arc: unit steps, so the convex envelope is a straight
+		// line and every fractional flow lands between breakpoints.
+		stair := []duration.Tuple{}
+		steps := T - 1
+		if steps > 8 {
+			steps = 8
+		}
+		for k := int64(0); k <= steps; k++ {
+			stair = append(stair, duration.Tuple{R: k, T: T - k})
+		}
+		d.AddEdge(prev, next)
+		st, err := duration.NewStep(stair)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, st)
+		prev = next
+	}
+	return core.NewInstance(d, fns)
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEveryFamilyBuildsAtDefaults materializes each family with default
+// parameters and checks the result is a validated instance.
+func TestEveryFamilyBuildsAtDefaults(t *testing.T) {
+	fams := Families()
+	if len(fams) != 8 {
+		t.Fatalf("have %d families, want 8", len(fams))
+	}
+	for _, f := range fams {
+		spec := Spec{Name: "t-" + f.Name, Family: f.Name, Seed: 42, Budget: i64(5)}
+		inst, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if inst.G.NumEdges() == 0 {
+			t.Fatalf("%s: empty instance", f.Name)
+		}
+		for _, k := range f.SizeParams {
+			if _, ok := f.Defaults[k]; !ok {
+				t.Fatalf("%s: size parameter %q has no default", f.Name, k)
+			}
+		}
+	}
+}
+
+// TestBuildDeterminism checks the corpus contract: the same spec yields
+// the same canonical hash on every build, and distinct seeds diverge.
+func TestBuildDeterminism(t *testing.T) {
+	for _, spec := range DefaultCorpus() {
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		b, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s rebuild: %v", spec.Name, err)
+		}
+		if a.CanonicalHash() != b.CanonicalHash() {
+			t.Fatalf("%s: rebuild changed the canonical hash", spec.Name)
+		}
+	}
+	base := Spec{Name: "a", Family: "layered", Seed: 1, Budget: i64(3)}
+	other := base
+	other.Seed = 2
+	ia, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.CanonicalHash() == ib.CanonicalHash() {
+		t.Fatal("different seeds built identical instances")
+	}
+}
+
+// TestSpecJSONRoundTrip checks specs survive the wire.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range DefaultCorpus() {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		ia, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		ib, err := back.Build()
+		if err != nil {
+			t.Fatalf("%s after round trip: %v", spec.Name, err)
+		}
+		if ia.CanonicalHash() != ib.CanonicalHash() {
+			t.Fatalf("%s: JSON round trip changed the instance", spec.Name)
+		}
+	}
+}
+
+// TestValidateRejects checks the error paths: unknown family, unknown or
+// non-positive parameters, missing or doubled objectives.
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Name: "x", Family: "nope", Seed: 1, Budget: i64(1)},
+		{Name: "x", Family: "layered", Seed: 1, Params: Params{"bogus": 3}, Budget: i64(1)},
+		{Name: "x", Family: "layered", Seed: 1, Params: Params{"layers": 0}, Budget: i64(1)},
+		{Name: "x", Family: "layered", Seed: 1},
+		{Name: "x", Family: "layered", Seed: 1, Budget: i64(1), Target: i64(1)},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, spec)
+		}
+	}
+}
+
+// TestScaleGrowsInstances checks Scale multiplies the size parameters and
+// actually enlarges the built DAG, without touching the original spec.
+func TestScaleGrowsInstances(t *testing.T) {
+	for _, f := range Families() {
+		spec := Spec{Name: "s-" + f.Name, Family: f.Name, Seed: 7, Budget: i64(5)}
+		big := spec.Scale(2)
+		if big.Name != spec.Name+"@x2" {
+			t.Fatalf("%s: scaled name %q", f.Name, big.Name)
+		}
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		b, err := big.Build()
+		if err != nil {
+			t.Fatalf("%s scaled: %v", f.Name, err)
+		}
+		if b.G.NumEdges() <= a.G.NumEdges() {
+			t.Fatalf("%s: scaling did not grow the instance (%d -> %d arcs)",
+				f.Name, a.G.NumEdges(), b.G.NumEdges())
+		}
+		if spec.Params != nil {
+			t.Fatalf("%s: Scale mutated the original spec", f.Name)
+		}
+	}
+}

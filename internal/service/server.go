@@ -154,6 +154,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// GlobalStats snapshots the service counters: the programmatic twin of
+// GET /v1/stats, used by embedders (rtcorpus records it in its quality
+// report).
+type GlobalStats struct {
+	Requests int64      `json:"requests"`
+	Cache    CacheStats `json:"cache"`
+	Pool     PoolStats  `json:"pool"`
+}
+
+// Stats returns the current counters.
+func (s *Server) Stats() GlobalStats {
+	return GlobalStats{
+		Requests: s.requests.Load(),
+		Cache:    s.cache.stats(),
+		Pool:     s.pool.stats(),
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")

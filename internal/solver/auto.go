@@ -33,6 +33,16 @@ const (
 	// autoRaceNodes caps the exact racer; the rounding rival is the
 	// safety net, so the cap only bounds wasted work.
 	autoRaceNodes = 1 << 20
+	// autoRecognizeArcs caps the arc count fed to series-parallel
+	// recognition, whose reduction loop is quadratic in the worst case: a
+	// 50k-arc instance must not burn minutes deciding it is not
+	// series-parallel before the scale tier even starts.
+	autoRecognizeArcs = 4096
+	// autoDenseLPArcs caps the EXPANDED arc count (sum of per-arc chain
+	// arcs) fed to the dense-simplex solvers (bicriteria*, kway5, binary4,
+	// binarybi), whose tableau is quadratic in that size.  Past it, auto
+	// routes to the frankwolfe scale tier, which is linear per iteration.
+	autoDenseLPArcs = 768
 )
 
 // raceRoute is the sentinel route name for the exact-vs-rounding race.
@@ -53,31 +63,39 @@ func (autoSolver) Capabilities() Caps {
 }
 
 // route picks the solver name for the instance and explains why.  The
-// rules, in order: a series-parallel DAG with affordable DP cost goes to
+// rules, in order: a series-parallel DAG (recognition attempted only below
+// a size cap - the reduction is quadratic) with affordable DP cost goes to
 // the exact spdp; a recognized k-way or recursive-binary duration class
 // goes to the matching approximation (budget mode only - those solvers
-// have no min-resource variant); a small assignment space goes to exact
-// branch-and-bound under a node budget; an assignment space near that
-// threshold, when the caller explicitly asked for two or more workers,
-// races exact against the bi-criteria rounding (route name "race");
-// everything else takes the general bi-criteria rounding.
+// have no min-resource variant) when its dense LP is affordable; a small
+// assignment space goes to exact branch-and-bound under a node budget; an
+// assignment space near that threshold, when the caller explicitly asked
+// for two or more workers, races exact against a rounding rival (route
+// name "race"); everything else takes an LP-rounding approximation,
+// size-routed: the dense bi-criteria LP while the expansion stays small,
+// the frankwolfe scale tier beyond it.
 func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, opts Options) {
 	obj := o.Objective()
-	if tree, leafArc, ok := sp.RecognizeMap(inst); ok {
-		b := o.Budget
-		if obj == MinResource {
-			b = inst.MaxUsefulBudget()
-		}
-		if bp := b + 1; bp <= autoSPMaxBudget {
-			if cost := int64(tree.Nodes()) * bp * bp; cost <= autoSPCost {
-				// Hand the recognized decomposition to spdp so it does
-				// not repeat the reduction.
-				o.spTree, o.spLeafArc = tree, leafArc
-				return "spdp", fmt.Sprintf("series-parallel DAG (%d jobs, DP cost %d)", tree.Leaves(), cost), o
+	m := inst.G.NumEdges()
+	if m <= autoRecognizeArcs {
+		if tree, leafArc, ok := sp.RecognizeMap(inst); ok {
+			b := o.Budget
+			if obj == MinResource {
+				b = inst.MaxUsefulBudget()
+			}
+			if bp := b + 1; bp <= autoSPMaxBudget {
+				if cost := int64(tree.Nodes()) * bp * bp; cost <= autoSPCost {
+					// Hand the recognized decomposition to spdp so it does
+					// not repeat the reduction.
+					o.spTree, o.spLeafArc = tree, leafArc
+					return "spdp", fmt.Sprintf("series-parallel DAG (%d jobs, DP cost %d)", tree.Leaves(), cost), o
+				}
 			}
 		}
 	}
-	if obj == MinMakespan {
+	expArcs := expandedArcs(inst)
+	denseOK := expArcs <= autoDenseLPArcs
+	if obj == MinMakespan && denseOK {
 		switch class := duration.Classify(inst.Fns); class {
 		case duration.KindKWay:
 			return "kway5", "all jobs k-way splitting (Eq 2)", o
@@ -92,6 +110,16 @@ func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, op
 		}
 		return "exact", fmt.Sprintf("small instance (assignment space %d)", space), o
 	}
+	// The rounding fallback (and racing rival) is size-routed: the dense
+	// simplex while the expansion stays affordable, the scale tier beyond.
+	rounder := "frankwolfe"
+	if denseOK {
+		if obj == MinResource {
+			rounder = "bicriteria-resource"
+		} else {
+			rounder = "bicriteria"
+		}
+	}
 	// Racing is opt-in: it requires an explicit WithParallelism(>=2), not
 	// the GOMAXPROCS default, so that plain auto solves route (and hence
 	// reproduce) identically on every machine.
@@ -99,21 +127,37 @@ func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, op
 		if o.MaxNodes == 0 {
 			o.MaxNodes = autoRaceNodes
 		}
+		o.raceRival = rounder
 		return raceRoute, fmt.Sprintf("assignment space %d near the exact threshold", space), o
 	}
-	if obj == MinResource {
-		return "bicriteria-resource", "general step functions, large instance", o
+	if rounder == "frankwolfe" {
+		return rounder, fmt.Sprintf("large general DAG (%d arcs, expansion > %d): envelope relaxation + rounding", m, autoDenseLPArcs), o
 	}
-	return "bicriteria", "general step functions, large instance", o
+	return rounder, "general step functions, large instance", o
+}
+
+// expandedArcs counts the arcs the Section 3.1 expansion would create: one
+// per single-tuple arc, two per chain otherwise.  It sizes the dense LP
+// without materializing the expansion, saturating once the answer is moot.
+func expandedArcs(inst *core.Instance) int64 {
+	var total int64
+	for _, fn := range inst.Fns {
+		if ts := fn.Tuples(); len(ts) == 1 {
+			total++
+		} else {
+			total += 2 * int64(len(ts))
+		}
+		if total > autoDenseLPArcs {
+			return autoDenseLPArcs + 1
+		}
+	}
+	return total
 }
 
 func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 	name, reason, routed := a.route(inst, o)
 	if name == raceRoute {
-		rival := "bicriteria"
-		if routed.Objective() == MinResource {
-			rival = "bicriteria-resource"
-		}
+		rival := routed.raceRival
 		rep, winner, err := raceSolve(ctx, inst, routed, "exact", rival)
 		if rep != nil {
 			rep.Routing = fmt.Sprintf("auto -> race(exact vs %s): %s; winner %s", rival, reason, winner)

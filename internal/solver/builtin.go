@@ -34,8 +34,30 @@ func (f *funcSolver) Solve(ctx context.Context, inst *core.Instance, o Options) 
 		if rep.Guarantee == "" {
 			rep.Guarantee = f.caps.Guarantee
 		}
+		if f.caps.Approximate {
+			rep.ApproxRatioUpperBound = ratioUpperBound(rep)
+		}
 	}
 	return rep, err
+}
+
+// ratioUpperBound divides the solution's objective metric by the
+// relaxation-certified lower bound: since LPLowerBound <= OPT, the result
+// bounds the true approximation ratio from above.  A zero or absent bound
+// claims nothing (ratio 0) unless the metric itself is zero, which is
+// trivially optimal.
+func ratioUpperBound(rep *Report) float64 {
+	metric := rep.Sol.Makespan
+	if rep.Objective == MinResource {
+		metric = rep.Sol.Value
+	}
+	if metric == 0 {
+		return 1
+	}
+	if rep.LPLowerBound <= 0 {
+		return 0
+	}
+	return float64(metric) / rep.LPLowerBound
 }
 
 func init() {
@@ -47,7 +69,7 @@ func init() {
 	})
 	Register(&funcSolver{
 		name: "bicriteria",
-		caps: Caps{Budget: true,
+		caps: Caps{Budget: true, Approximate: true,
 			Guarantee: "makespan <= OPT/alpha using <= B/(1-alpha) resources (Thm 3.4)"},
 		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 			return fromApprox(approx.BiCriteriaCtx(ctx, inst, o.Budget, o.Alpha))
@@ -55,7 +77,7 @@ func init() {
 	})
 	Register(&funcSolver{
 		name: "bicriteria-resource",
-		caps: Caps{Target: true,
+		caps: Caps{Target: true, Approximate: true,
 			Guarantee: "resources <= OPT/(1-alpha) reaching makespan <= T/alpha (Thm 3.4)"},
 		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 			return fromApprox(approx.BiCriteriaResourceCtx(ctx, inst, o.Target, o.Alpha))
@@ -63,7 +85,7 @@ func init() {
 	})
 	Register(&funcSolver{
 		name: "kway5",
-		caps: Caps{Budget: true, Classes: []string{duration.KindKWay},
+		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindKWay},
 			Guarantee: "makespan <= 5 OPT within budget (Thm 3.9)"},
 		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 			return fromApprox(approx.KWay5Ctx(ctx, inst, o.Budget))
@@ -71,7 +93,7 @@ func init() {
 	})
 	Register(&funcSolver{
 		name: "binary4",
-		caps: Caps{Budget: true, Classes: []string{duration.KindBinary},
+		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindBinary},
 			Guarantee: "makespan <= 4 OPT within budget (Thm 3.10)"},
 		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 			return fromApprox(approx.Binary4Ctx(ctx, inst, o.Budget))
@@ -79,7 +101,7 @@ func init() {
 	})
 	Register(&funcSolver{
 		name: "binarybi",
-		caps: Caps{Budget: true, Classes: []string{duration.KindBinary},
+		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindBinary},
 			Guarantee: "makespan <= 14/5 OPT using <= 4B/3 resources (Thm 3.16)"},
 		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
 			return fromApprox(approx.BinaryBiCriteriaCtx(ctx, inst, o.Budget))
@@ -91,6 +113,12 @@ func init() {
 			Guarantee: "optimal on series-parallel DAGs (Sec 3.4 DP)"},
 		solve: solveSPDP,
 	})
+	Register(&funcSolver{
+		name: "frankwolfe",
+		caps: Caps{Budget: true, Target: true, Approximate: true,
+			Guarantee: "makespan <= relax/alpha using <= B/(1-alpha) resources; certified relaxation bound (scale tier)"},
+		solve: solveFrankWolfe,
+	})
 	Register(newAutoSolver())
 }
 
@@ -99,7 +127,7 @@ func fromApprox(res *approx.Result, err error) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Sol: res.Sol, LowerBound: res.LPObjective, Complete: true}, nil
+	return &Report{Sol: res.Sol, LowerBound: res.LPObjective, LPLowerBound: res.LPObjective, Complete: true}, nil
 }
 
 // solveExact runs the branch-and-bound search in either mode.  On context

@@ -68,6 +68,10 @@ type Caps struct {
 	Target bool
 	// Exact: the solution is optimal when the run completes.
 	Exact bool
+	// Approximate: the solver carries a proven multiplicative bound and
+	// fills Report.LPLowerBound / Report.ApproxRatioUpperBound, so its
+	// quality is checkable per solve (the corpus gate relies on this).
+	Approximate bool
 	// SeriesParallelOnly: requires a two-terminal series-parallel DAG.
 	SeriesParallelOnly bool
 	// Parallel: honors Options.Parallelism (a multicore search).  Asking
@@ -130,6 +134,9 @@ type Options struct {
 	// second recognition pass.  Unexported: an internal hint, not API.
 	spTree    *sp.Tree
 	spLeafArc map[*sp.Tree]int
+	// raceRival carries auto's size-routed choice of rounding rival into
+	// the racing path.  Unexported: an internal hint, not API.
+	raceRival string
 }
 
 // Objective returns the optimization direction the options select.
@@ -188,6 +195,21 @@ type Report struct {
 	// approximation algorithms, the solution's own metric for complete
 	// exact runs); 0 when no bound is available.
 	LowerBound float64
+	// LPLowerBound is the relaxation-certified lower bound on the optimum
+	// (the LP optimum for the dense-LP solvers, the Frank-Wolfe
+	// certificate for the scale tier); 0 for solvers that do not solve a
+	// relaxation.  Unlike LowerBound it is never back-filled from the
+	// solution itself, so it is the honest denominator for approximation
+	// ratios.
+	LPLowerBound float64
+	// ApproxRatioUpperBound bounds the true approximation ratio of Sol
+	// from above: the solution's objective metric divided by
+	// LPLowerBound.  0 when no relaxation bound is available (then
+	// nothing is claimed).  Values below 1 are legitimate for bi-criteria
+	// solvers: the bound is relative to the stated budget while the
+	// solution may spend up to B/(1-alpha), so it can beat the budget-B
+	// optimum.
+	ApproxRatioUpperBound float64
 	// Guarantee is the proven approximation bound that applies.
 	Guarantee string
 	// Exact reports that the solution is optimal (requires Complete).
@@ -195,7 +217,9 @@ type Report struct {
 	// Complete is false when the search was truncated by MaxNodes or by
 	// context cancellation; the solution is then best-so-far.
 	Complete bool
-	// Nodes counts exact-search nodes expanded (0 for LP solvers).
+	// Nodes counts units of search work: branch-and-bound nodes expanded
+	// for exact, Frank-Wolfe iterations for the scale tier, 0 for the
+	// dense-LP solvers.
 	Nodes int
 	// Wall is the measured wall-clock solve time.
 	Wall time.Duration
@@ -209,6 +233,9 @@ func (r *Report) String() string {
 		b.WriteString(" (optimal)")
 	} else if r.LowerBound > 0 {
 		fmt.Fprintf(&b, " (lower bound %.2f)", r.LowerBound)
+	}
+	if r.ApproxRatioUpperBound > 0 {
+		fmt.Fprintf(&b, " (ratio <= %.3f)", r.ApproxRatioUpperBound)
 	}
 	if !r.Complete {
 		b.WriteString(" [incomplete]")

@@ -45,7 +45,7 @@ func stepFunc(t *testing.T) duration.Func {
 }
 
 func TestRegistryResolvesAllBuiltins(t *testing.T) {
-	want := []string{"auto", "bicriteria", "bicriteria-resource", "binary4", "binarybi", "exact", "kway5", "spdp"}
+	want := []string{"auto", "bicriteria", "bicriteria-resource", "binary4", "binarybi", "exact", "frankwolfe", "kway5", "spdp"}
 	for _, name := range want {
 		s, err := Get(name)
 		if err != nil {
@@ -436,4 +436,54 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 		}
 	}()
 	Register(&funcSolver{name: "exact"})
+}
+
+// TestAutoRoutesHugeToFrankWolfe checks the scale tier's size-based
+// routing: once the expansion outgrows the dense simplex, auto dispatches
+// to frankwolfe in both objectives — including for instances whose
+// duration class would otherwise pick a dense-LP class solver — and the
+// report carries a certified bound with its ratio.
+func TestAutoRoutesHugeToFrankWolfe(t *testing.T) {
+	g := gen.New(9)
+	tests := []struct {
+		name   string
+		inst   *core.Instance
+		opts   []Option
+		budget bool
+	}{
+		{"step-budget", g.StepInstance(24, 24, 12, 4, 60, 5), []Option{WithBudget(40)}, true},
+		{"step-target", g.StepInstance(24, 24, 12, 4, 60, 5), []Option{WithTarget(700)}, false},
+		{"kway-budget", g.KWayInstance(24, 24, 12, 400), []Option{WithBudget(40)}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Solve(context.Background(), "auto", tc.inst, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Solver != "frankwolfe" || !strings.Contains(rep.Routing, "auto -> frankwolfe") {
+				t.Fatalf("Solver = %q, Routing = %q; want frankwolfe", rep.Solver, rep.Routing)
+			}
+			if tc.budget {
+				// Min-makespan: the optimum is positive (constant-free
+				// critical paths), so the certified bound must be too.
+				if rep.LPLowerBound <= 0 {
+					t.Fatalf("LPLowerBound = %v; want a certified positive bound", rep.LPLowerBound)
+				}
+				if rep.ApproxRatioUpperBound <= 0 {
+					t.Fatalf("ApproxRatioUpperBound = %v; want > 0", rep.ApproxRatioUpperBound)
+				}
+			} else {
+				// Min-resource: the target must be met; a zero bound is
+				// legitimate (zero resources may suffice for loose
+				// targets), but any claimed ratio must be consistent.
+				if rep.Sol.Makespan > 700 {
+					t.Fatalf("makespan %d misses the 700 target", rep.Sol.Makespan)
+				}
+				if rep.ApproxRatioUpperBound != 0 && rep.ApproxRatioUpperBound < 1 {
+					t.Fatalf("ApproxRatioUpperBound = %v; want 0 or >= 1", rep.ApproxRatioUpperBound)
+				}
+			}
+		})
+	}
 }

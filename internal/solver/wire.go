@@ -89,6 +89,7 @@ type Info struct {
 	Budget             bool     `json:"budget"`
 	Target             bool     `json:"target"`
 	Exact              bool     `json:"exact"`
+	Approximate        bool     `json:"approximate,omitempty"`
 	SeriesParallelOnly bool     `json:"series_parallel_only,omitempty"`
 	Parallel           bool     `json:"parallel,omitempty"`
 	Classes            []string `json:"classes,omitempty"`
@@ -103,6 +104,7 @@ func NewInfo(s Solver) Info {
 		Budget:             caps.Budget,
 		Target:             caps.Target,
 		Exact:              caps.Exact,
+		Approximate:        caps.Approximate,
 		SeriesParallelOnly: caps.SeriesParallelOnly,
 		Parallel:           caps.Parallel,
 		Classes:            caps.Classes,
@@ -129,10 +131,17 @@ type WireReport struct {
 	Resources  int64   `json:"resources"`
 	Flow       []int64 `json:"flow,omitempty"`
 	LowerBound float64 `json:"lower_bound,omitempty"`
-	Guarantee  string  `json:"guarantee,omitempty"`
-	Exact      bool    `json:"exact"`
-	Complete   bool    `json:"complete"`
-	// Nodes counts exact-search nodes expanded (0 for LP solvers).
+	// LPLowerBound and ApproxRatioUpperBound mirror the Report fields of
+	// the same names: the relaxation-certified bound and the resulting
+	// upper bound on the true approximation ratio (absent for exact
+	// solvers).
+	LPLowerBound          float64 `json:"lp_lower_bound,omitempty"`
+	ApproxRatioUpperBound float64 `json:"approx_ratio_upper_bound,omitempty"`
+	Guarantee             string  `json:"guarantee,omitempty"`
+	Exact                 bool    `json:"exact"`
+	Complete              bool    `json:"complete"`
+	// Nodes counts units of search work (branch-and-bound nodes,
+	// Frank-Wolfe iterations; 0 for the dense-LP solvers).
 	Nodes int `json:"nodes,omitempty"`
 	// WallMS is the wall time of the solve that produced this report; a
 	// cache hit carries the original compute time, not the lookup time.
@@ -142,17 +151,19 @@ type WireReport struct {
 // Wire converts the report for JSON transport.
 func (r *Report) Wire() WireReport {
 	return WireReport{
-		Solver:     r.Solver,
-		Routing:    r.Routing,
-		Objective:  r.Objective.String(),
-		Makespan:   r.Sol.Makespan,
-		Resources:  r.Sol.Value,
-		Flow:       r.Sol.Flow,
-		LowerBound: r.LowerBound,
-		Guarantee:  r.Guarantee,
-		Exact:      r.Exact,
-		Complete:   r.Complete,
-		Nodes:      r.Nodes,
-		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+		Solver:                r.Solver,
+		Routing:               r.Routing,
+		Objective:             r.Objective.String(),
+		Makespan:              r.Sol.Makespan,
+		Resources:             r.Sol.Value,
+		Flow:                  r.Sol.Flow,
+		LowerBound:            r.LowerBound,
+		LPLowerBound:          r.LPLowerBound,
+		ApproxRatioUpperBound: r.ApproxRatioUpperBound,
+		Guarantee:             r.Guarantee,
+		Exact:                 r.Exact,
+		Complete:              r.Complete,
+		Nodes:                 r.Nodes,
+		WallMS:                float64(r.Wall) / float64(time.Millisecond),
 	}
 }
