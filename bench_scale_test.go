@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/relax"
 	"repro/internal/scenario"
 	"repro/internal/solver"
@@ -101,6 +102,50 @@ func BenchmarkAutoRouteLarge(b *testing.B) {
 			b.Fatalf("auto routed %d-arc instance to %s (%s); want frankwolfe", inst.G.NumEdges(), rep.Solver, rep.Routing)
 		}
 	}
+}
+
+// BenchmarkCompileOnceSolveMany contrasts the two ways to solve the same
+// instance repeatedly: "fresh" compiles (and re-derives the recognition,
+// class and envelope state) on every solve, "memoized" compiles once and
+// reuses the lazily derived results.  The instance is series-parallel, so
+// the auto route pays recognition - the costliest memoizable derivation -
+// on every fresh solve and exactly once on the memoized path.
+func BenchmarkCompileOnceSolveMany(b *testing.B) {
+	budget := int64(6)
+	spec := scenario.Spec{Name: "bench", Family: "randomsp", Seed: 21,
+		Params: scenario.Params{"leaves": 192, "tuples": 4, "maxt0": 30, "maxr": 4},
+		Budget: &budget}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(b *testing.B, rep *solver.Report, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Solver != "spdp" {
+			b.Fatalf("routed to %s; want spdp on a series-parallel instance", rep.Solver)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := solver.Solve(context.Background(), "auto", inst, solver.WithBudget(budget))
+			check(b, rep, err)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		c := core.Compile(inst)
+		rep, err := solver.SolveCompiled(context.Background(), "auto", c, solver.WithBudget(budget))
+		check(b, rep, err)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := solver.SolveCompiled(context.Background(), "auto", c, solver.WithBudget(budget))
+			check(b, rep, err)
+		}
+	})
 }
 
 // BenchmarkCanonicalHash measures the cache-identity hash on a mid-size

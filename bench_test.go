@@ -16,9 +16,9 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/exact"
-	"repro/internal/gen"
 	"repro/internal/racesim"
 	"repro/internal/reduction"
+	"repro/internal/scenario"
 	"repro/internal/sp"
 )
 
@@ -107,7 +107,7 @@ func BenchmarkFig4Fig5(b *testing.B) {
 // BenchmarkFig6Expansion measures the D -> D” two-tuple expansion on a
 // random step instance (Figures 6 and 7).
 func BenchmarkFig6Expansion(b *testing.B) {
-	inst := gen.New(17).StepInstance(6, 5, 4, 4, 40, 6)
+	inst := scenario.NewGen(17).StepInstance(6, 5, 4, 4, 40, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Expand(inst); err != nil {
@@ -120,7 +120,7 @@ func BenchmarkFig6Expansion(b *testing.B) {
 // over a family of small random instances and reports the worst and mean
 // makespan ratios (Table 1's approximation column, measured).
 func table1Ratio(b *testing.B, kind string, run func(*core.Instance, int64) (*approx.Result, error)) {
-	g := gen.New(99)
+	g := scenario.NewGen(99)
 	type testCase struct {
 		inst   *core.Instance
 		budget int64
@@ -262,7 +262,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkSec34SPDP exercises the O(m B^2) series-parallel dynamic
 // program across budget scales; time should grow quadratically with B.
 func BenchmarkSec34SPDP(b *testing.B) {
-	tree := gen.New(5).SPTree(64, 4, 50, 5)
+	tree := scenario.NewGen(5).SPTree(64, 4, 50, 5)
 	for _, budget := range []int64{8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("B=%d", budget), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -348,7 +348,7 @@ func BenchmarkFig17N3DM(b *testing.B) {
 // re-routing with the naive alternative that saturates every requirement
 // on its own path: the metric is the resource saved by reuse.
 func BenchmarkAblationMinFlowVsSaturate(b *testing.B) {
-	inst := gen.New(23).StepInstance(4, 3, 2, 2, 20, 4)
+	inst := scenario.NewGen(23).StepInstance(4, 3, 2, 2, 20, 4)
 	var reuse, naive int64
 	for i := 0; i < b.N; i++ {
 		res, err := approx.BiCriteria(inst, 10, 0.5)
@@ -368,7 +368,7 @@ func BenchmarkAblationMinFlowVsSaturate(b *testing.B) {
 // BenchmarkExactSolver measures the branch-and-bound on a mid-size
 // instance, reporting search nodes.
 func BenchmarkExactSolver(b *testing.B) {
-	inst := gen.New(31).StepInstance(3, 2, 1, 3, 9, 3)
+	inst := scenario.NewGen(31).StepInstance(3, 2, 1, 3, 9, 3)
 	var nodes int
 	for i := 0; i < b.N; i++ {
 		_, stats, err := exact.MinMakespan(inst, 4, nil)
@@ -388,7 +388,7 @@ func BenchmarkExactSolver(b *testing.B) {
 // count and a plateau beyond it; on a single-core machine all settings
 // time alike.
 func BenchmarkExactParallel(b *testing.B) {
-	inst := gen.New(13).KWayInstance(3, 4, 2, 80)
+	inst := scenario.NewGen(13).KWayInstance(3, 4, 2, 80)
 	const budget = 10
 	want, stats, err := exact.MinMakespan(inst, budget, &exact.Options{Parallelism: 1})
 	if err != nil || !stats.Complete {

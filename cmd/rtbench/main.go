@@ -16,9 +16,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exact"
-	"repro/internal/gen"
 	"repro/internal/racesim"
 	"repro/internal/reduction"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 )
 
@@ -117,7 +117,7 @@ func table1() {
 		{"binary (4/3, 14/5) (Thm 3.16)", "14/5 OPT (4B/3 resources)", "binary", "binarybi"},
 	}
 	for _, row := range rows {
-		g := gen.New(99)
+		g := scenario.NewGen(99)
 		worst, sum, count := 0.0, 0.0, 0
 		for count < 30 {
 			var inst *core.Instance

@@ -14,8 +14,8 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/reduction"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -30,7 +30,7 @@ func main() {
 	leaves := flag.Int("leaves", 8, "leaves (sp kind)")
 	flag.Parse()
 
-	g := gen.New(*seed)
+	g := scenario.NewGen(*seed)
 	var inst *core.Instance
 	switch *kind {
 	case "step":

@@ -1,9 +1,10 @@
 // Command rtserve runs the resource-time tradeoff solving service: a
 // long-running HTTP/JSON server over the unified solver registry, with a
-// bounded worker pool and a canonical-hash result cache so repeated
-// instances never recompute.
+// bounded worker pool, a compiled-instance cache so hot DAGs decode and
+// compile once, and a canonical-hash result cache so repeated instances
+// never recompute.
 //
-//	rtserve -addr :8080 -workers 8 -cache 4096
+//	rtserve -addr :8080 -workers 8 -cache 4096 -compiled 512
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/solvers
@@ -35,13 +36,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "solve workers (0: GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result-cache entries (0: 1024 default, -1: disable)")
+	compiled := flag.Int("compiled", 0, "compiled-instance cache entries; each entry retains a few times its instance's wire size (0: 512 default, -1: disable)")
 	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0: 8 MiB default)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		MaxBodyBytes: *maxBody,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		CompiledEntries: *compiled,
+		MaxBodyBytes:    *maxBody,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -13,7 +13,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/gen"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 )
 
@@ -23,7 +23,7 @@ func main() {
 	// ~53k arcs: 250 layers, width 100, 100 extra cross-layer arcs per
 	// layer, up to 4 breakpoints per job.
 	start := time.Now()
-	inst := gen.New(1).StepInstance(250, 100, 100, 4, 40, 5)
+	inst := scenario.NewGen(1).StepInstance(250, 100, 100, 4, 40, 5)
 	fmt.Printf("generated: %d nodes, %d arcs in %v\n",
 		inst.G.NumNodes(), inst.G.NumEdges(), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("zero-flow makespan: %d\n\n", inst.ZeroFlowMakespan())

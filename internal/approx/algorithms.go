@@ -49,19 +49,22 @@ func minFlowOnOriginal(inst *core.Instance, lower []int64) (core.Solution, error
 // using at most LPValue/(1-alpha) resources (<= B/(1-alpha)) with makespan
 // at most LPObjective/alpha (<= OPT(B)/alpha).
 func BiCriteria(inst *core.Instance, budget int64, alpha float64) (*Result, error) {
-	return BiCriteriaCtx(context.Background(), inst, budget, alpha)
+	return BiCriteriaCtx(context.Background(), core.Compile(inst), budget, alpha)
 }
 
 // BiCriteriaCtx is BiCriteria with cooperative cancellation of the LP
-// relaxation.
-func BiCriteriaCtx(ctx context.Context, inst *core.Instance, budget int64, alpha float64) (*Result, error) {
+// relaxation, on an already-compiled instance: the Section 3.1 expansion
+// is taken from (and memoized on) the compiled form instead of rebuilt per
+// call.
+func BiCriteriaCtx(ctx context.Context, c *core.Compiled, budget int64, alpha float64) (*Result, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("approx: alpha %v outside (0,1)", alpha)
 	}
 	if budget < 0 {
 		return nil, fmt.Errorf("approx: negative budget %d", budget)
 	}
-	ex, err := core.Expand(inst)
+	inst := c.Inst
+	ex, err := c.Expansion()
 	if err != nil {
 		return nil, err
 	}
@@ -80,16 +83,17 @@ func BiCriteriaCtx(ctx context.Context, inst *core.Instance, budget int64, alpha
 // makespan target T it returns a solution using at most
 // LPObjective/(1-alpha) resources whose makespan is at most T/alpha.
 func BiCriteriaResource(inst *core.Instance, target int64, alpha float64) (*Result, error) {
-	return BiCriteriaResourceCtx(context.Background(), inst, target, alpha)
+	return BiCriteriaResourceCtx(context.Background(), core.Compile(inst), target, alpha)
 }
 
 // BiCriteriaResourceCtx is BiCriteriaResource with cooperative
-// cancellation of the LP relaxation.
-func BiCriteriaResourceCtx(ctx context.Context, inst *core.Instance, target int64, alpha float64) (*Result, error) {
+// cancellation of the LP relaxation, on an already-compiled instance.
+func BiCriteriaResourceCtx(ctx context.Context, c *core.Compiled, target int64, alpha float64) (*Result, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("approx: alpha %v outside (0,1)", alpha)
 	}
-	ex, err := core.Expand(inst)
+	inst := c.Inst
+	ex, err := c.Expansion()
 	if err != nil {
 		return nil, err
 	}
@@ -115,12 +119,13 @@ func BiCriteriaResourceCtx(ctx context.Context, inst *core.Instance, target int6
 // algorithm cannot see, so the LP fractional usage r-hat_j stands in for it
 // (r-hat is what the paper's own two-phase predecessors use).
 func KWay5(inst *core.Instance, budget int64) (*Result, error) {
-	return KWay5Ctx(context.Background(), inst, budget)
+	return KWay5Ctx(context.Background(), core.Compile(inst), budget)
 }
 
-// KWay5Ctx is KWay5 with cooperative cancellation of the LP relaxation.
-func KWay5Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
-	return halvedRounding(ctx, inst, budget, func(e int, rj int64, rhat float64) int64 {
+// KWay5Ctx is KWay5 with cooperative cancellation of the LP relaxation, on
+// an already-compiled instance.
+func KWay5Ctx(ctx context.Context, c *core.Compiled, budget int64) (*Result, error) {
+	return halvedRounding(ctx, c, budget, func(e int, rj int64, rhat float64) int64 {
 		switch {
 		case rj > 3:
 			return rj / 2
@@ -138,13 +143,13 @@ func KWay5Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result, 
 // t(r/2) <= 2 t(r) of Equation 3 costs at most another factor 2 in
 // makespan.
 func Binary4(inst *core.Instance, budget int64) (*Result, error) {
-	return Binary4Ctx(context.Background(), inst, budget)
+	return Binary4Ctx(context.Background(), core.Compile(inst), budget)
 }
 
 // Binary4Ctx is Binary4 with cooperative cancellation of the LP
-// relaxation.
-func Binary4Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
-	return halvedRounding(ctx, inst, budget, func(e int, rj int64, rhat float64) int64 {
+// relaxation, on an already-compiled instance.
+func Binary4Ctx(ctx context.Context, c *core.Compiled, budget int64) (*Result, error) {
+	return halvedRounding(ctx, c, budget, func(e int, rj int64, rhat float64) int64 {
 		return prevPow2(rj / 2)
 	})
 }
@@ -152,11 +157,12 @@ func Binary4Ctx(ctx context.Context, inst *core.Instance, budget int64) (*Result
 // halvedRounding implements the shared Section 3.2 pipeline: LP, alpha=1/2
 // rounding, per-job resource reduction via reduce, then an integral
 // min-flow on the original instance with the reduced requirements.
-func halvedRounding(ctx context.Context, inst *core.Instance, budget int64, reduce func(e int, rj int64, rhat float64) int64) (*Result, error) {
+func halvedRounding(ctx context.Context, c *core.Compiled, budget int64, reduce func(e int, rj int64, rhat float64) int64) (*Result, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("approx: negative budget %d", budget)
 	}
-	ex, err := core.Expand(inst)
+	inst := c.Inst
+	ex, err := c.Expansion()
 	if err != nil {
 		return nil, err
 	}
@@ -185,16 +191,17 @@ func halvedRounding(ctx context.Context, inst *core.Instance, budget int64, redu
 // rounded requirements are then min-flow routed.  Resources grow by at most
 // 4/3, makespan by at most 14/5.
 func BinaryBiCriteria(inst *core.Instance, budget int64) (*Result, error) {
-	return BinaryBiCriteriaCtx(context.Background(), inst, budget)
+	return BinaryBiCriteriaCtx(context.Background(), core.Compile(inst), budget)
 }
 
 // BinaryBiCriteriaCtx is BinaryBiCriteria with cooperative cancellation of
-// the LP relaxation.
-func BinaryBiCriteriaCtx(ctx context.Context, inst *core.Instance, budget int64) (*Result, error) {
+// the LP relaxation, on an already-compiled instance.
+func BinaryBiCriteriaCtx(ctx context.Context, c *core.Compiled, budget int64) (*Result, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("approx: negative budget %d", budget)
 	}
-	ex, err := core.Expand(inst)
+	inst := c.Inst
+	ex, err := c.Expansion()
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,12 @@
 // durations.  Resources are reused along paths - the same unit serves every
 // arc it traverses - which is the defining feature of the paper's model
 // (Question 1.3).
+//
+// Instance is the construction and wire form; Compiled (see Compile) is
+// the solve form: an immutable preprocessed view - CSR adjacency,
+// topological order, canonical hash, breakpoint tables, convex envelopes,
+// combinatorial bounds, and lazily derived expansion/recognition results -
+// shared by every solver layer.  Compile once, solve many.
 package core
 
 import (

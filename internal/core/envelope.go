@@ -1,0 +1,85 @@
+package core
+
+import "repro/internal/duration"
+
+// Envelopes holds the per-arc LOWER CONVEX ENVELOPE of every duration
+// function's breakpoints, in CSR form: arc e owns hull points
+// [SegStart[e], SegStart[e+1]) of (R, T), with Slope[j] the (negative)
+// slope of the segment starting at point j.  Filling the Section 3.1
+// expansion's parallel chains in slope order is exactly linear
+// interpolation along this envelope, so it is the relaxation model of the
+// scale tier (internal/relax); the hull minorizes the step function
+// pointwise, so envelope makespans lower-bound real ones.
+//
+// Envelopes are built once per compiled instance (Compiled.Envelopes) and
+// are read-only afterwards; concurrent readers need no synchronization.
+type Envelopes struct {
+	SegStart []int32
+	R        []int64
+	T        []int64
+	Slope    []float64
+}
+
+// buildEnvelopes constructs the hulls from the canonical breakpoints.
+// Tuples arrive with strictly increasing R and strictly decreasing T
+// (duration.Func's contract), so the hull is the subsequence with strictly
+// increasing segment slopes (Andrew's monotone chain, lower half).  Hull
+// points are real breakpoints, so rounding to a hull vertex always lands
+// on an achievable resource level.
+func buildEnvelopes(tuples [][]duration.Tuple) *Envelopes {
+	ev := &Envelopes{SegStart: make([]int32, len(tuples)+1)}
+	for e, ts := range tuples {
+		ev.appendHull(ts)
+		ev.SegStart[e+1] = int32(len(ev.R))
+	}
+	return ev
+}
+
+// appendHull pushes one arc's lower convex hull onto the CSR arrays.
+func (ev *Envelopes) appendHull(tuples []duration.Tuple) {
+	base := len(ev.R)
+	for _, tp := range tuples {
+		// Pop hull points that are no longer on the lower hull: keep
+		// slopes strictly increasing.  Cross-product form avoids division.
+		for len(ev.R)-base >= 2 {
+			i, j := len(ev.R)-2, len(ev.R)-1
+			// slope(i,j) >= slope(j,new)  <=>  (Tj-Ti)(Rnew-Rj) >= (Tnew-Tj)(Rj-Ri)
+			if (ev.T[j]-ev.T[i])*(tp.R-ev.R[j]) >= (tp.T-ev.T[j])*(ev.R[j]-ev.R[i]) {
+				ev.R = ev.R[:j]
+				ev.T = ev.T[:j]
+				ev.Slope = ev.Slope[:len(ev.Slope)-1]
+				continue
+			}
+			break
+		}
+		if len(ev.R) > base {
+			j := len(ev.R) - 1
+			ev.Slope = append(ev.Slope, float64(tp.T-ev.T[j])/float64(tp.R-ev.R[j]))
+		}
+		ev.R = append(ev.R, tp.R)
+		ev.T = append(ev.T, tp.T)
+	}
+}
+
+// slopeBase returns the index of arc e's first segment slope in Slope.
+// Slope entries are appended in arc order and an arc with p hull points
+// owns p-1 slopes, so the base is SegStart[e] minus the number of arcs
+// preceding e.
+func (ev *Envelopes) slopeBase(e int) int { return int(ev.SegStart[e]) - e }
+
+// Eval evaluates the envelope duration of arc e at (fractional) flow x and
+// reports the slope of the containing segment (the subgradient; 0 at or
+// past the last hull point).  Hull points per arc are few, so a linear
+// scan wins over binary search.
+func (ev *Envelopes) Eval(e int, x float64) (dur, grad float64) {
+	lo, hi := int(ev.SegStart[e]), int(ev.SegStart[e+1])
+	j := lo
+	for j+1 < hi && float64(ev.R[j+1]) <= x {
+		j++
+	}
+	if j+1 >= hi { // at or past the last hull point
+		return float64(ev.T[hi-1]), 0
+	}
+	sg := ev.Slope[ev.slopeBase(e)+(j-lo)]
+	return float64(ev.T[j]) + sg*(x-float64(ev.R[j])), sg
+}

@@ -88,10 +88,11 @@ const defaultMaxNodes = 1 << 20
 // before any worker starts; mutable fields are atomics, or are guarded by
 // mu (the incumbent witness and the first-interruption error).
 type shared struct {
+	c      *core.Compiled
 	inst   *core.Instance
 	ctx    context.Context
 	tuples [][]duration.Tuple
-	topo   []int // topological order of inst.G, computed once
+	topo   []int // topological order of inst.G, from the compiled form
 
 	budget int64 // resource cap (-1: none)
 	target int64 // makespan cap (-1: none)
@@ -126,18 +127,19 @@ type shared struct {
 	interrupted error   // guarded by mu
 }
 
-func newShared(ctx context.Context, inst *core.Instance, opts *Options) *shared {
+func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	topo, err := inst.G.TopoOrder()
-	if err != nil {
-		panic(err) // instance was validated
-	}
+	// The topological order and the per-arc breakpoint tables come straight
+	// off the compiled form: they were derived once at Compile time instead
+	// of once per solve.
 	sh := &shared{
-		inst:     inst,
+		c:        c,
+		inst:     c.Inst,
 		ctx:      ctx,
-		topo:     topo,
+		topo:     c.Topo,
+		tuples:   c.Tuples,
 		budget:   -1,
 		target:   -1,
 		stopAt:   -1,
@@ -147,9 +149,6 @@ func newShared(ctx context.Context, inst *core.Instance, opts *Options) *shared 
 	sh.bestVal.Store(math.MaxInt64)
 	if opts != nil && opts.MaxNodes > 0 {
 		sh.maxNodes = int64(opts.MaxNodes)
-	}
-	for e := 0; e < inst.G.NumEdges(); e++ {
-		sh.tuples = append(sh.tuples, inst.Fns[e].Tuples())
 	}
 	return sh
 }
@@ -240,17 +239,19 @@ func newWorker(sh *shared) *worker {
 
 // makespan fills w.et with longest-path event times under the durations d
 // and returns the sink's time (the makespan).  It is the allocation-free
-// twin of dag.Graph.Makespan, using the shared topological order.
+// twin of dag.Graph.Makespan, sweeping the compiled CSR adjacency in the
+// shared topological order.
 func (w *worker) makespan(d []int64) int64 {
-	g := w.sh.inst.G
+	c := w.sh.c
 	for i := range w.et {
 		w.et[i] = 0
 	}
 	for _, v := range w.sh.topo {
 		tv := w.et[v]
-		for _, e := range g.Out(v) {
-			if c := tv + d[e]; c > w.et[g.Edge(e).To] {
-				w.et[g.Edge(e).To] = c
+		for i := c.OutStart[v]; i < c.OutStart[v+1]; i++ {
+			e := c.OutArcs[i]
+			if cand := tv + d[e]; cand > w.et[c.ArcTo[e]] {
+				w.et[c.ArcTo[e]] = cand
 			}
 		}
 	}
@@ -261,13 +262,14 @@ func (w *worker) makespan(d []int64) int64 {
 // the event times of d) and collects, in source-to-sink order, the arcs on
 // it that are neither frozen nor at their last breakpoint.
 func (w *worker) candidates(d []int64) []int {
-	g := w.sh.inst.G
+	c := w.sh.c
 	w.path = w.path[:0]
 	v := w.sh.inst.Sink
 	for w.et[v] != 0 {
 		pick := -1
-		for _, e := range g.In(v) {
-			if w.et[g.Edge(e).From]+d[e] == w.et[v] {
+		for i := c.InStart[v]; i < c.InStart[v+1]; i++ {
+			e := int(c.InArcs[i])
+			if w.et[c.ArcFrom[e]]+d[e] == w.et[v] {
 				pick = e
 				break
 			}
@@ -276,7 +278,7 @@ func (w *worker) candidates(d []int64) []int {
 			panic("exact: inconsistent event times")
 		}
 		w.path = append(w.path, pick)
-		v = g.Edge(pick).From
+		v = int(c.ArcFrom[pick])
 	}
 	w.cand = w.cand[:0]
 	for i := len(w.path) - 1; i >= 0; i-- {
@@ -543,6 +545,17 @@ func BudgetedMakespanLowerBound(inst *core.Instance, budget int64) int64 {
 	return m
 }
 
+// BudgetedMakespanLowerBoundCompiled is BudgetedMakespanLowerBound on an
+// already-compiled instance: the longest-path sweep reuses the compiled
+// topological order and CSR adjacency instead of re-deriving them.
+func BudgetedMakespanLowerBoundCompiled(c *core.Compiled, budget int64) int64 {
+	d := make([]int64, len(c.MinDur))
+	for e, fn := range c.Inst.Fns {
+		d[e] = fn.Eval(budget)
+	}
+	return c.MakespanUnder(d)
+}
+
 // ResourceLowerBound returns a lower bound on the resource usage of every
 // flow whose makespan is at most target.  For each arc e, the longest
 // source-to-sink path through e with every *other* arc at its fastest
@@ -604,18 +617,24 @@ func MinMakespanCtx(ctx context.Context, inst *core.Instance, budget int64, opts
 	if budget < 0 {
 		return core.Solution{}, Stats{}, fmt.Errorf("exact: negative budget %d", budget)
 	}
-	sh := newShared(ctx, inst, opts)
+	return MinMakespanCompiled(ctx, core.Compile(inst), budget, opts)
+}
+
+// MinMakespanCompiled is MinMakespanCtx on an already-compiled instance:
+// callers solving the same instance repeatedly (the solver registry, the
+// service) compile once and skip the per-solve preprocessing.
+func MinMakespanCompiled(ctx context.Context, c *core.Compiled, budget int64, opts *Options) (core.Solution, Stats, error) {
+	if budget < 0 {
+		return core.Solution{}, Stats{}, fmt.Errorf("exact: negative budget %d", budget)
+	}
+	sh := newShared(ctx, c, opts)
 	sh.budget = budget
 	sh.minimizeResource = false
-	sh.budgetMin = make([]int64, inst.G.NumEdges())
-	for e, fn := range inst.Fns {
+	sh.budgetMin = make([]int64, c.Inst.G.NumEdges())
+	for e, fn := range c.Inst.Fns {
 		sh.budgetMin[e] = fn.Eval(budget)
 	}
-	m, err := inst.G.Makespan(sh.budgetMin)
-	if err != nil {
-		panic(err) // instance was validated
-	}
-	sh.floor.Store(m)
+	sh.floor.Store(c.MakespanUnder(sh.budgetMin))
 	sh.run(optParallelism(opts))
 	return sh.solution()
 }
@@ -629,10 +648,15 @@ func MinResource(inst *core.Instance, target int64, opts *Options) (core.Solutio
 // MinResourceCtx is MinResource with cooperative cancellation; see
 // MinMakespanCtx for the interruption contract.
 func MinResourceCtx(ctx context.Context, inst *core.Instance, target int64, opts *Options) (core.Solution, Stats, error) {
-	if target < inst.MakespanLowerBound() {
+	return MinResourceCompiled(ctx, core.Compile(inst), target, opts)
+}
+
+// MinResourceCompiled is MinResourceCtx on an already-compiled instance.
+func MinResourceCompiled(ctx context.Context, c *core.Compiled, target int64, opts *Options) (core.Solution, Stats, error) {
+	if target < c.MinMakespan {
 		return core.Solution{}, Stats{Complete: true}, ErrNoSolution
 	}
-	sh := newShared(ctx, inst, opts)
+	sh := newShared(ctx, c, opts)
 	sh.target = target
 	sh.minimizeResource = true
 	sh.run(optParallelism(opts))
@@ -652,10 +676,15 @@ func Feasible(inst *core.Instance, budget, target int64, opts *Options) (bool, c
 // ErrTruncated, so callers can no longer mistake "ran out of time" for
 // "proven infeasible".
 func FeasibleCtx(ctx context.Context, inst *core.Instance, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
-	if target < inst.MakespanLowerBound() {
+	return FeasibleCompiled(ctx, core.Compile(inst), budget, target, opts)
+}
+
+// FeasibleCompiled is FeasibleCtx on an already-compiled instance.
+func FeasibleCompiled(ctx context.Context, c *core.Compiled, budget, target int64, opts *Options) (bool, core.Solution, Stats, error) {
+	if target < c.MinMakespan {
 		return false, core.Solution{}, Stats{Complete: true}, nil
 	}
-	sh := newShared(ctx, inst, opts)
+	sh := newShared(ctx, c, opts)
 	sh.target = target
 	sh.budget = budget
 	sh.minimizeResource = true

@@ -47,7 +47,6 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/duration"
 	"repro/internal/exact"
 	"repro/internal/flow"
 )
@@ -111,16 +110,12 @@ type Result struct {
 // reusing all scratch buffers across solves.  Not safe for concurrent use;
 // give each worker its own.
 type Solver struct {
-	inst  *core.Instance
-	order []int // topological node order
+	c    *core.Compiled
+	inst *core.Instance
 
-	// Per-arc lower convex envelope in CSR form: arc e owns hull points
-	// [segStart[e], segStart[e+1]) of (hullR, hullT), with slope[j] the
-	// (negative) slope of the segment starting at point j.
-	segStart []int32
-	hullR    []int64
-	hullT    []int64
-	slope    []float64
+	// env is the per-arc lower convex envelope in CSR form, shared with
+	// (and built at most once by) the compiled instance.
+	env *core.Envelopes
 
 	// Frank-Wolfe scratch, all sized once and reused.
 	f, fbest, ftmp  []float64 // flows per arc
@@ -134,101 +129,53 @@ type Solver struct {
 	mf *flow.MinFlowSolver
 }
 
-// NewSolver builds the reusable relaxation state for inst: the topological
-// order, the per-arc duration envelopes, and the integral min-flow network
-// used by rounding.  The instance must not change afterwards.
+// NewSolver builds the reusable relaxation state for inst.  One-shot
+// convenience around NewSolverCompiled; callers that already hold a
+// compiled instance should use that directly so the topological order and
+// envelopes are shared instead of rebuilt.
 func NewSolver(inst *core.Instance) *Solver {
-	g := inst.G
-	n, m := g.NumNodes(), g.NumEdges()
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic(err) // instance was validated
-	}
-	s := &Solver{
-		inst:     inst,
-		order:    order,
-		segStart: make([]int32, m+1),
-		f:        make([]float64, m),
-		fbest:    make([]float64, m),
-		ftmp:     make([]float64, m),
-		cost:     make([]float64, m),
-		avgCost:  make([]float64, m),
-		tval:     make([]float64, n),
-		dist:     make([]float64, n),
-		critArc:  make([]int32, n),
-		oraArc:   make([]int32, n),
-		req:      make([]int64, m),
-		mf:       flow.NewMinFlowSolver(g, inst.Source, inst.Sink),
-	}
-	for e := 0; e < m; e++ {
-		s.appendHull(inst.Fns[e].Tuples())
-		s.segStart[e+1] = int32(len(s.hullR))
-	}
-	return s
+	return NewSolverCompiled(core.Compile(inst))
 }
 
-// appendHull pushes the lower convex hull of the canonical breakpoints
-// onto the CSR arrays.  Tuples arrive with strictly increasing R and
-// strictly decreasing T (duration.Func's contract), so the hull is the
-// subsequence with strictly increasing segment slopes (Andrew's monotone
-// chain, lower half).  Hull points are real breakpoints, so rounding to a
-// hull vertex always lands on an achievable resource level, and the hull
-// minorizes the step function, so envelope makespans lower-bound real ones.
-func (s *Solver) appendHull(tuples []duration.Tuple) {
-	base := len(s.hullR)
-	for _, tp := range tuples {
-		// Pop hull points that are no longer on the lower hull: keep
-		// slopes strictly increasing.  Cross-product form avoids division.
-		for len(s.hullR)-base >= 2 {
-			i, j := len(s.hullR)-2, len(s.hullR)-1
-			// slope(i,j) >= slope(j,new)  <=>  (Tj-Ti)(Rnew-Rj) >= (Tnew-Tj)(Rj-Ri)
-			if (s.hullT[j]-s.hullT[i])*(tp.R-s.hullR[j]) >= (tp.T-s.hullT[j])*(s.hullR[j]-s.hullR[i]) {
-				s.hullR = s.hullR[:j]
-				s.hullT = s.hullT[:j]
-				s.slope = s.slope[:len(s.slope)-1]
-				continue
-			}
-			break
-		}
-		if len(s.hullR) > base {
-			j := len(s.hullR) - 1
-			s.slope = append(s.slope, float64(tp.T-s.hullT[j])/float64(tp.R-s.hullR[j]))
-		}
-		s.hullR = append(s.hullR, tp.R)
-		s.hullT = append(s.hullT, tp.T)
+// NewSolverCompiled builds the reusable relaxation state on a compiled
+// instance: the topological order and duration envelopes come from the
+// compiled form (derived once, shared with every other consumer), and only
+// the Frank-Wolfe scratch and the integral min-flow network used by
+// rounding are allocated here.  The instance must not change afterwards.
+func NewSolverCompiled(c *core.Compiled) *Solver {
+	inst := c.Inst
+	g := inst.G
+	n, m := g.NumNodes(), g.NumEdges()
+	return &Solver{
+		c:       c,
+		inst:    inst,
+		env:     c.Envelopes(),
+		f:       make([]float64, m),
+		fbest:   make([]float64, m),
+		ftmp:    make([]float64, m),
+		cost:    make([]float64, m),
+		avgCost: make([]float64, m),
+		tval:    make([]float64, n),
+		dist:    make([]float64, n),
+		critArc: make([]int32, n),
+		oraArc:  make([]int32, n),
+		req:     make([]int64, m),
+		mf:      flow.NewMinFlowSolver(g, inst.Source, inst.Sink),
 	}
 }
 
 // envelope evaluates the convex-envelope duration of arc e at flow x and
-// reports the slope of the containing segment (the subgradient; 0 past the
-// last hull point).  Hull points per arc are few, so a linear scan wins.
+// reports the slope of the containing segment (the subgradient); see
+// core.Envelopes.Eval.
 func (s *Solver) envelope(e int, x float64) (dur, grad float64) {
-	lo, hi := int(s.segStart[e]), int(s.segStart[e+1])
-	j := lo
-	for j+1 < hi && float64(s.hullR[j+1]) <= x {
-		j++
-	}
-	if j+1 >= hi { // at or past the last hull point
-		return float64(s.hullT[hi-1]), 0
-	}
-	sg := s.slope[s.slopeBase(e)+(j-lo)]
-	return float64(s.hullT[j]) + sg*(x-float64(s.hullR[j])), sg
+	return s.env.Eval(e, x)
 }
-
-// slopeBase returns the index of arc e's first segment slope in s.slope.
-// Each arc with p hull points owns p-1 slopes, so the base is
-// segStart[e] - e... which only holds when every arc has at least one
-// point; arcs always do, but single-point arcs own zero slopes, so the
-// base must be accumulated.  To keep the lookup O(1) the bases are not
-// stored separately: slope entries are appended in arc order, so the base
-// is segStart[e] minus the number of arcs preceding e, i.e. segStart[e]-e.
-func (s *Solver) slopeBase(e int) int { return int(s.segStart[e]) - e }
 
 // makespan computes the longest-path value under envelope durations of fx,
 // optionally recording the predecessor arc per node for critical-path
-// backtracking.
+// backtracking.  It sweeps the compiled CSR adjacency in topological order.
 func (s *Solver) makespan(fx []float64, track bool) float64 {
-	g := s.inst.G
+	c := s.c
 	for i := range s.tval {
 		s.tval[i] = 0
 	}
@@ -237,11 +184,12 @@ func (s *Solver) makespan(fx []float64, track bool) float64 {
 			s.critArc[i] = -1
 		}
 	}
-	for _, v := range s.order {
+	for _, v := range c.Topo {
 		tv := s.tval[v]
-		for _, e := range g.Out(v) {
+		for i := c.OutStart[v]; i < c.OutStart[v+1]; i++ {
+			e := int(c.OutArcs[i])
 			d, _ := s.envelope(e, fx[e])
-			w := g.Edge(e).To
+			w := c.ArcTo[e]
 			if cand := tv + d; cand > s.tval[w] {
 				s.tval[w] = cand
 				if track {
@@ -257,7 +205,7 @@ func (s *Solver) makespan(fx []float64, track bool) float64 {
 // pathBuf, using the predecessors recorded by makespan(track=true).
 func (s *Solver) criticalPath() []int32 {
 	s.pathBuf = s.pathBuf[:0]
-	g := s.inst.G
+	c := s.c
 	v := s.inst.Sink
 	for v != s.inst.Source {
 		e := s.critArc[v]
@@ -265,10 +213,10 @@ func (s *Solver) criticalPath() []int32 {
 			// The sink is reached by a zero-duration prefix the DP never
 			// tightened; walk any incoming arc (durations there are 0 on
 			// this path, so the subgradient contribution is unaffected).
-			e = int32(g.In(v)[0])
+			e = c.InArcs[c.InStart[v]]
 		}
 		s.pathBuf = append(s.pathBuf, e)
-		v = g.Edge(int(e)).From
+		v = int(c.ArcFrom[e])
 	}
 	return s.pathBuf
 }
@@ -280,7 +228,7 @@ func (s *Solver) criticalPath() []int32 {
 // negative-cycle care (the graph is a DAG).  It returns the best path cost
 // c* (<= 0); the chosen path is left in oraArc predecessors.
 func (s *Solver) oracle(cost []float64) float64 {
-	g := s.inst.G
+	c := s.c
 	for i := range s.dist {
 		s.dist[i] = math.Inf(1)
 	}
@@ -288,16 +236,17 @@ func (s *Solver) oracle(cost []float64) float64 {
 	for i := range s.oraArc {
 		s.oraArc[i] = -1
 	}
-	for _, v := range s.order {
+	for _, v := range c.Topo {
 		dv := s.dist[v]
 		if math.IsInf(dv, 1) {
 			continue
 		}
-		for _, e := range g.Out(v) {
-			w := g.Edge(e).To
+		for i := c.OutStart[v]; i < c.OutStart[v+1]; i++ {
+			e := c.OutArcs[i]
+			w := c.ArcTo[e]
 			if cand := dv + cost[e]; cand < s.dist[w] {
 				s.dist[w] = cand
-				s.oraArc[w] = int32(e)
+				s.oraArc[w] = e
 			}
 		}
 	}
@@ -327,7 +276,7 @@ func (s *Solver) MinMakespan(ctx context.Context, budget int64, opt Options) (*R
 	// duration - sound because on a DAG no arc can carry more than the
 	// whole budget) is free, always positive when the optimum is, and
 	// often the better bound early.  Report the max of the two.
-	if floor := float64(exact.BudgetedMakespanLowerBound(s.inst, budget)); floor > res.LowerBound {
+	if floor := float64(exact.BudgetedMakespanLowerBoundCompiled(s.c, budget)); floor > res.LowerBound {
 		res.LowerBound = floor
 	}
 	sol, err := s.round(budget, o.Alpha)
@@ -426,7 +375,7 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 		for v != s.inst.Source {
 			e := s.oraArc[v]
 			s.f[e] += gamma * B
-			v = s.inst.G.Edge(int(e)).From
+			v = int(s.c.ArcFrom[e])
 		}
 		for _, e := range path {
 			s.cost[e] = 0
@@ -455,7 +404,7 @@ func (s *Solver) lineSearch(B float64, k int) float64 {
 		for v != s.inst.Source {
 			e := s.oraArc[v]
 			s.ftmp[e] += gamma * B
-			v = s.inst.G.Edge(int(e)).From
+			v = int(s.c.ArcFrom[e])
 		}
 		return s.makespan(s.ftmp, false)
 	}
@@ -501,22 +450,23 @@ func (s *Solver) lineSearch(B float64, k int) float64 {
 // guarantee, with the computed relaxation standing in for the LP.
 func (s *Solver) round(budget int64, alpha float64) (core.Solution, error) {
 	m := s.inst.G.NumEdges()
+	env := s.env
 	for e := 0; e < m; e++ {
-		lo, hi := int(s.segStart[e]), int(s.segStart[e+1])
+		lo, hi := int(env.SegStart[e]), int(env.SegStart[e+1])
 		x := s.fbest[e]
 		j := lo
-		for j+1 < hi && float64(s.hullR[j+1]) <= x {
+		for j+1 < hi && float64(env.R[j+1]) <= x {
 			j++
 		}
 		if j+1 >= hi {
-			s.req[e] = s.hullR[hi-1]
+			s.req[e] = env.R[hi-1]
 			continue
 		}
-		frac := (x - float64(s.hullR[j])) / float64(s.hullR[j+1]-s.hullR[j])
+		frac := (x - float64(env.R[j])) / float64(env.R[j+1]-env.R[j])
 		if frac > 1-alpha {
-			s.req[e] = s.hullR[j+1]
+			s.req[e] = env.R[j+1]
 		} else {
-			s.req[e] = s.hullR[j]
+			s.req[e] = env.R[j]
 		}
 	}
 	res, err := s.mf.Solve(s.req)
@@ -546,7 +496,7 @@ func (s *Solver) MinResource(ctx context.Context, target int64, opt Options) (*R
 	// longest path, and the min-flow at full saturation is the cheapest way
 	// to realize it.  It doubles as the feasible upper end of the search.
 	for e := 0; e < s.inst.G.NumEdges(); e++ {
-		s.req[e] = s.hullR[int(s.segStart[e+1])-1]
+		s.req[e] = s.env.R[int(s.env.SegStart[e+1])-1]
 	}
 	satRes, err := s.mf.Solve(s.req)
 	if err != nil {
@@ -598,7 +548,7 @@ func (s *Solver) MinResource(ctx context.Context, target int64, opt Options) (*R
 			// combinatorial budget floor) cannot reach the target at this
 			// budget, every solution needs more.
 			if pr.LowerBound <= float64(target) {
-				pr.LowerBound = float64(exact.BudgetedMakespanLowerBound(s.inst, mid))
+				pr.LowerBound = float64(exact.BudgetedMakespanLowerBoundCompiled(s.c, mid))
 			}
 			if pr.LowerBound > float64(target) && mid+1 > resLB {
 				resLB = mid + 1

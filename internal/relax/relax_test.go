@@ -11,14 +11,14 @@ import (
 	"repro/internal/dag"
 	"repro/internal/duration"
 	"repro/internal/exact"
-	"repro/internal/gen"
+	"repro/internal/scenario"
 )
 
 // smallInstances is a pool of exactly-solvable instances spanning the
 // duration classes and shapes.
 func smallInstances(t *testing.T) []*core.Instance {
 	t.Helper()
-	g := gen.New(7)
+	g := scenario.NewGen(7)
 	insts := []*core.Instance{
 		g.StepInstance(2, 2, 1, 3, 9, 3),
 		g.StepInstance(3, 2, 1, 3, 12, 4),
@@ -159,7 +159,7 @@ func TestMinResource(t *testing.T) {
 // TestSolverReuseDeterministic re-solves through one Solver and checks the
 // buffer reuse leaks no state between solves.
 func TestSolverReuseDeterministic(t *testing.T) {
-	inst := gen.New(11).StepInstance(4, 3, 2, 4, 20, 5)
+	inst := scenario.NewGen(11).StepInstance(4, 3, 2, 4, 20, 5)
 	s := NewSolver(inst)
 	first, err := s.MinMakespan(context.Background(), 5, Options{})
 	if err != nil {
@@ -197,7 +197,7 @@ func TestLargeInstanceFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large instance solve in -short mode")
 	}
-	inst := gen.New(3).StepInstance(60, 20, 20, 4, 50, 6)
+	inst := scenario.NewGen(3).StepInstance(60, 20, 20, 4, 50, 6)
 	s := NewSolver(inst)
 	res, err := s.MinMakespan(context.Background(), 200, Options{})
 	if err != nil {
@@ -219,7 +219,7 @@ func TestLargeInstanceFast(t *testing.T) {
 // returns a rounded partial solution alongside the context error (the
 // exact search's partial-report contract).
 func TestCanceledContext(t *testing.T) {
-	inst := gen.New(5).StepInstance(3, 3, 2, 4, 20, 5)
+	inst := scenario.NewGen(5).StepInstance(3, 3, 2, 4, 20, 5)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := NewSolver(inst).MinMakespan(ctx, 5, Options{})
@@ -234,7 +234,7 @@ func TestCanceledContext(t *testing.T) {
 	// to close its gap (budget spread over 24 parallel lanes, one path
 	// per step), so with the tolerance stop disabled a short deadline
 	// reliably interrupts mid-iteration.
-	big := gen.New(9).KWayInstance(24, 24, 12, 400)
+	big := scenario.NewGen(9).KWayInstance(24, 24, 12, 400)
 	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer dcancel()
 	res, err = NewSolver(big).MinMakespan(dctx, 40, Options{MaxIters: 1 << 30, Tol: 1e-300})

@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/duration"
-	"repro/internal/gen"
 	"repro/internal/racesim"
 )
 
@@ -31,7 +30,7 @@ func init() {
 		Desc:       "layered random DAG with random non-increasing step functions",
 		Defaults:   Params{"layers": 6, "width": 5, "extra": 3, "tuples": 4, "maxt0": 30, "maxr": 4},
 		SizeParams: []string{"layers", "width"},
-		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+		build: func(g *Gen, p, def Params) (*core.Instance, error) {
 			return g.StepInstance(int(p.get("layers", def)), int(p.get("width", def)), int(p.get("extra", def)),
 				int(p.get("tuples", def)), p.get("maxt0", def), p.get("maxr", def)), nil
 		},
@@ -41,7 +40,7 @@ func init() {
 		Desc:       "fork-join stages; class selects step (0), k-way (1) or binary (2) jobs",
 		Defaults:   Params{"stages": 3, "width": 4, "class": 1, "maxt0": 30},
 		SizeParams: []string{"stages", "width"},
-		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+		build: func(g *Gen, p, def Params) (*core.Instance, error) {
 			kind := duration.KindStep
 			switch p.get("class", def) {
 			case 1:
@@ -57,7 +56,7 @@ func init() {
 		Desc:       "random two-terminal series-parallel DAG (exact DP reachable)",
 		Defaults:   Params{"leaves": 12, "tuples": 4, "maxt0": 30, "maxr": 4},
 		SizeParams: []string{"leaves"},
-		build: func(g *gen.Gen, p, def Params) (*core.Instance, error) {
+		build: func(g *Gen, p, def Params) (*core.Instance, error) {
 			tree := g.SPTree(int(p.get("leaves", def)), int(p.get("tuples", def)),
 				p.get("maxt0", def), p.get("maxr", def))
 			inst, _, err := tree.ToInstance()
@@ -105,7 +104,7 @@ func init() {
 // zero-cost crosslinks from each stage to the next stage of the adjacent
 // lane: the dependence shape of a software pipeline, where a lane may not
 // start stage k+1 before its neighbor finished stage k.
-func buildPipeline(g *gen.Gen, p, def Params) (*core.Instance, error) {
+func buildPipeline(g *Gen, p, def Params) (*core.Instance, error) {
 	lanes, stages := int(p.get("lanes", def)), int(p.get("stages", def))
 	tuples := int(p.get("tuples", def))
 	maxT0, maxR := p.get("maxt0", def), p.get("maxr", def)
@@ -141,7 +140,7 @@ func buildPipeline(g *gen.Gen, p, def Params) (*core.Instance, error) {
 // buildDiamondMesh builds the rows x cols grid DAG with right and down
 // arcs: the dependence shape of wavefront computations and stencil
 // updates, where every interior cell is a diamond.
-func buildDiamondMesh(g *gen.Gen, p, def Params) (*core.Instance, error) {
+func buildDiamondMesh(g *Gen, p, def Params) (*core.Instance, error) {
 	rows, cols := int(p.get("rows", def)), int(p.get("cols", def))
 	if rows < 2 || cols < 2 {
 		return nil, fmt.Errorf("diamondmesh needs rows, cols >= 2 (got %d x %d)", rows, cols)
@@ -175,7 +174,7 @@ func buildDiamondMesh(g *gen.Gen, p, def Params) (*core.Instance, error) {
 // buildMatmul reduces the Figure 3 Parallel-MM trace to its race DAG and
 // converts it to activity-on-arc form; the reducer class is the tradeoff
 // under study in the paper's Section 1 example.
-func buildMatmul(g *gen.Gen, p, def Params) (*core.Instance, error) {
+func buildMatmul(g *Gen, p, def Params) (*core.Instance, error) {
 	kind, err := reducerKind(p.get("reducer", def))
 	if err != nil {
 		return nil, err
@@ -194,7 +193,7 @@ func buildMatmul(g *gen.Gen, p, def Params) (*core.Instance, error) {
 // buildRaceTrace draws a random update trace - each update writes a cell
 // and reads up to maxsrcs strictly lower-numbered cells, which keeps the
 // race DAG acyclic - and reduces it to arc form with the chosen reducer.
-func buildRaceTrace(g *gen.Gen, p, def Params) (*core.Instance, error) {
+func buildRaceTrace(g *Gen, p, def Params) (*core.Instance, error) {
 	cells := int(p.get("cells", def))
 	if cells < 2 {
 		return nil, fmt.Errorf("racetrace needs cells >= 2 (got %d)", cells)
@@ -232,7 +231,7 @@ func buildRaceTrace(g *gen.Gen, p, def Params) (*core.Instance, error) {
 // side buys its whole duration with an exponentially growing jump, and a
 // linear staircase arc makes every fractional point of the relaxation
 // fall between breakpoints.
-func buildAdversarial(g *gen.Gen, p, def Params) (*core.Instance, error) {
+func buildAdversarial(g *Gen, p, def Params) (*core.Instance, error) {
 	diamonds := int(p.get("diamonds", def))
 	t0 := p.get("t0", def)
 	if t0 < 4 {

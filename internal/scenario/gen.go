@@ -1,8 +1,11 @@
-// Package gen builds deterministic synthetic workloads: layered random
-// DAGs with random duration functions, random series-parallel instances,
-// and fork-join shapes.  Everything is seeded, so benchmarks and
-// experiments are reproducible run to run.
-package gen
+// This file holds the seeded workload generator that package scenario's
+// families are built from: layered random DAGs with random duration
+// functions, random series-parallel instances, and fork-join shapes.
+// Everything is seeded, so benchmarks and experiments are reproducible run
+// to run.  It absorbed the former internal/gen package: the generator and
+// the scenario catalog are one subsystem, and the catalog's Specs are the
+// preferred way to name an instance.
+package scenario
 
 import (
 	"math/rand"
@@ -18,8 +21,8 @@ type Gen struct {
 	rng *rand.Rand
 }
 
-// New returns a generator with the given seed.
-func New(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
+// NewGen returns a deterministic generator with the given seed.
+func NewGen(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
 
 // Intn exposes the generator's deterministic stream for callers composing
 // their own shapes (the scenario families build DAG layouts with it).

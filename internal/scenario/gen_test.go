@@ -1,4 +1,4 @@
-package gen
+package scenario
 
 import (
 	"testing"
@@ -9,7 +9,7 @@ import (
 )
 
 func TestLayeredValidates(t *testing.T) {
-	g := New(1)
+	g := NewGen(1)
 	for trial := 0; trial < 20; trial++ {
 		d := g.Layered(3, 3, 2)
 		if _, _, err := d.Validate(); err != nil {
@@ -19,8 +19,8 @@ func TestLayeredValidates(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a := New(7).StepInstance(3, 3, 2, 3, 10, 3)
-	b := New(7).StepInstance(3, 3, 2, 3, 10, 3)
+	a := NewGen(7).StepInstance(3, 3, 2, 3, 10, 3)
+	b := NewGen(7).StepInstance(3, 3, 2, 3, 10, 3)
 	if a.G.NumEdges() != b.G.NumEdges() {
 		t.Fatal("same seed produced different shapes")
 	}
@@ -32,7 +32,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestStepFuncValid(t *testing.T) {
-	g := New(3)
+	g := NewGen(3)
 	for i := 0; i < 100; i++ {
 		fn := g.StepFunc(4, 20, 4)
 		tuples := fn.Tuples()
@@ -48,7 +48,7 @@ func TestStepFuncValid(t *testing.T) {
 }
 
 func TestKindInstances(t *testing.T) {
-	g := New(5)
+	g := NewGen(5)
 	k := g.KWayInstance(2, 2, 1, 30)
 	for _, fn := range k.Fns {
 		if _, ok := fn.(*duration.KWay); !ok {
@@ -64,7 +64,7 @@ func TestKindInstances(t *testing.T) {
 }
 
 func TestSPTree(t *testing.T) {
-	g := New(9)
+	g := NewGen(9)
 	tr := g.SPTree(8, 3, 10, 3)
 	if tr.Leaves() != 8 {
 		t.Fatalf("leaves = %d; want 8", tr.Leaves())
@@ -83,7 +83,7 @@ func TestSPTree(t *testing.T) {
 
 func TestRequestStream(t *testing.T) {
 	const n, distinct = 200, 10
-	reqs := New(21).RequestStream(n, distinct)
+	reqs := NewGen(21).RequestStream(n, distinct)
 	if len(reqs) != n {
 		t.Fatalf("len = %d; want %d", len(reqs), n)
 	}
@@ -120,7 +120,7 @@ func TestRequestStream(t *testing.T) {
 	}
 
 	// Same seed, same stream.
-	again := New(21).RequestStream(n, distinct)
+	again := NewGen(21).RequestStream(n, distinct)
 	for i := range reqs {
 		if reqs[i].Budget != again[i].Budget || reqs[i].Target != again[i].Target ||
 			reqs[i].Inst.CanonicalHash() != again[i].Inst.CanonicalHash() {
@@ -130,7 +130,7 @@ func TestRequestStream(t *testing.T) {
 }
 
 func TestForkJoin(t *testing.T) {
-	g := New(11)
+	g := NewGen(11)
 	for _, kind := range []string{duration.KindKWay, duration.KindBinary, duration.KindStep} {
 		inst := g.ForkJoin(3, 4, kind, 20)
 		if _, _, err := inst.G.Validate(); err != nil {

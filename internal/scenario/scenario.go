@@ -29,7 +29,6 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/gen"
 )
 
 // Params carries a family's integer knobs by name.
@@ -72,7 +71,7 @@ type Family struct {
 	// instance (the nightly corpus runs scaled sizes).
 	SizeParams []string
 
-	build func(g *gen.Gen, p Params, def Params) (*core.Instance, error)
+	build func(g *Gen, p Params, def Params) (*core.Instance, error)
 }
 
 var families = map[string]Family{}
@@ -131,7 +130,7 @@ func (s Spec) Build() (*core.Instance, error) {
 		return nil, err
 	}
 	f := families[s.Family]
-	inst, err := f.build(gen.New(s.Seed), s.Params, f.Defaults)
+	inst, err := f.build(NewGen(s.Seed), s.Params, f.Defaults)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: building %q: %w", s.Name, err)
 	}

@@ -1,8 +1,9 @@
 // Package service implements rtserve's long-running HTTP/JSON solving
 // service over the unified solver registry: a bounded worker pool of
-// long-lived solvers, a canonical-hash-keyed LRU result cache with
-// single-flight de-duplication, and wire-level validation that turns every
-// malformed input into a 400 instead of a panic.
+// long-lived solvers, a compiled-instance LRU in front of a
+// canonical-hash-keyed LRU result cache with single-flight
+// de-duplication, and wire-level validation that turns every malformed
+// input into a 400 instead of a panic.
 //
 // Endpoints:
 //
@@ -11,16 +12,19 @@
 //	GET  /v1/stats    cache/pool/request counters
 //	GET  /healthz     liveness
 //
-// Solves are pure functions of (instance, solver, options), so the cache
-// key is core.Instance.CanonicalHash plus the solver name and
-// Options.CacheKey; identical requests — across clients, across time,
-// or duplicated inside one batch — compute at most once.
+// Solves are pure functions of (instance, solver, options), so the result
+// cache key is solver.ResultCacheKey: the compiled instance's canonical
+// hash plus the solver name and Options.CacheKey; identical requests —
+// across clients, across time, or duplicated inside one batch — compute
+// at most once.  One layer below, the compiled-instance cache
+// (compiledCache) deduplicates the preprocessing itself: a hot DAG with
+// varying budgets or targets decodes, validates, compiles and hashes
+// exactly once across the pool, and repeats skip straight to the solve
+// (or to the result-cache hit).
 package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,31 +44,38 @@ type Config struct {
 	// CacheEntries caps the result LRU; 0 means the 1024 default, < 0
 	// disables caching (single-flight de-duplication stays on).
 	CacheEntries int
+	// CompiledEntries caps the compiled-instance LRU in front of the
+	// result cache; 0 means the 512 default, < 0 disables it (every
+	// request decodes and compiles).  The cap counts ENTRIES, not bytes:
+	// each entry retains the decoded instance, its CSR/breakpoint arrays
+	// and any lazily derived expansion or recognition state - a small
+	// multiple of the instance's wire size.  Deployments accepting large
+	// bodies (MaxBodyBytes) from untrusted clients should budget roughly
+	// CompiledEntries x a few x MaxBodyBytes of residency, and size the
+	// cap (or disable the cache) accordingly.
+	CompiledEntries int
 	// MaxBodyBytes caps request bodies; <= 0 means the 8 MiB default.
 	MaxBodyBytes int64
 }
 
 // Defaults for Config zero values.
 const (
-	defaultCacheEntries = 1024
-	defaultMaxBody      = 8 << 20
+	defaultCacheEntries    = 1024
+	defaultCompiledEntries = 512
+	defaultMaxBody         = 8 << 20
 )
 
 // Server is the solving service.  Create with New, expose via Handler,
 // release the worker pool with Close.
 type Server struct {
-	pool    *pool
-	cache   *resultCache
-	mux     *http.ServeMux
-	start   time.Time
-	maxBody int64
+	pool     *pool
+	cache    *resultCache
+	compiled *compiledCache
+	mux      *http.ServeMux
+	start    time.Time
+	maxBody  int64
 
 	requests atomic.Int64
-
-	// encBufs pools canonical-encoding scratch across handler goroutines,
-	// so steady-state instance hashing does not allocate (the request-path
-	// twin of the pool's long-lived-worker reuse).
-	encBufs sync.Pool
 }
 
 // New builds a Server and starts its worker pool.
@@ -76,17 +87,24 @@ func New(cfg Config) *Server {
 	case entries < 0:
 		entries = 0
 	}
+	compiledEntries := cfg.CompiledEntries
+	switch {
+	case compiledEntries == 0:
+		compiledEntries = defaultCompiledEntries
+	case compiledEntries < 0:
+		compiledEntries = 0
+	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
 	s := &Server{
-		pool:    newPool(cfg.Workers),
-		cache:   newResultCache(entries),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		maxBody: maxBody,
-		encBufs: sync.Pool{New: func() any { return new([]byte) }},
+		pool:     newPool(cfg.Workers),
+		cache:    newResultCache(entries),
+		compiled: newCompiledCache(compiledEntries),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		maxBody:  maxBody,
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -100,15 +118,6 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close drains the worker pool; in-flight solves finish first.
 func (s *Server) Close() { s.pool.close() }
-
-// hashInstance computes the canonical hash through the pooled scratch.
-func (s *Server) hashInstance(inst *core.Instance) string {
-	bufp := s.encBufs.Get().(*[]byte)
-	*bufp = inst.AppendCanonical((*bufp)[:0])
-	sum := sha256.Sum256(*bufp)
-	s.encBufs.Put(bufp)
-	return hex.EncodeToString(sum[:])
-}
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -150,6 +159,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Requests: s.requests.Load(),
 		Cache:    s.cache.stats(),
+		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
 	})
 }
@@ -158,9 +168,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // GET /v1/stats, used by embedders (rtcorpus records it in its quality
 // report).
 type GlobalStats struct {
-	Requests int64      `json:"requests"`
-	Cache    CacheStats `json:"cache"`
-	Pool     PoolStats  `json:"pool"`
+	Requests int64              `json:"requests"`
+	Cache    CacheStats         `json:"cache"`
+	Compiled CompiledCacheStats `json:"compiled"`
+	Pool     PoolStats          `json:"pool"`
 }
 
 // Stats returns the current counters.
@@ -168,6 +179,7 @@ func (s *Server) Stats() GlobalStats {
 	return GlobalStats{
 		Requests: s.requests.Load(),
 		Cache:    s.cache.stats(),
+		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
 	}
 }
@@ -235,9 +247,18 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 	if len(req.Instance) == 0 {
 		return fail(http.StatusBadRequest, "missing instance")
 	}
-	var inst core.Instance
-	if err := json.Unmarshal(req.Instance, &inst); err != nil {
-		return fail(http.StatusBadRequest, "invalid instance: %v", err)
+	// The compiled-instance cache is consulted on the RAW bytes first: a
+	// hot instance skips JSON decoding, validation, compilation and
+	// canonical hashing entirely.  Only on a miss is the wire document
+	// decoded and compiled, and even then an isomorphic encoding of a
+	// known DAG adopts the existing compiled form.
+	c, rawKey, compiledHit := s.compiled.get(req.Instance)
+	if !compiledHit {
+		var inst core.Instance
+		if err := json.Unmarshal(req.Instance, &inst); err != nil {
+			return fail(http.StatusBadRequest, "invalid instance: %v", err)
+		}
+		c = s.compiled.add(rawKey, core.Compile(&inst))
 	}
 	opts, err := req.Options.Resolve(start)
 	if err != nil {
@@ -251,11 +272,10 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 		return fail(http.StatusBadRequest, "%v", err)
 	}
 
-	hash := s.hashInstance(&inst)
-	key := name + "|" + hash + "|" + opts.CacheKey()
+	key := solver.ResultCacheKey(name, c, opts)
 	solve := func(solveCtx context.Context) (solver.WireReport, error) {
 		return s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
-			r, err := solver.SolveOptions(solveCtx, name, &inst, opts)
+			r, err := solver.SolveCompiledOptions(solveCtx, name, c, opts)
 			if r == nil {
 				return solver.WireReport{}, err
 			}
@@ -293,10 +313,11 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 	}
 
 	resp := SolveResponse{
-		Hash:          hash,
+		Hash:          c.Hash(),
 		Cached:        cached,
-		InstanceNodes: inst.G.NumNodes(),
-		InstanceArcs:  inst.G.NumEdges(),
+		CompiledHit:   compiledHit,
+		InstanceNodes: c.Inst.G.NumNodes(),
+		InstanceArcs:  c.Inst.G.NumEdges(),
 		WallMS:        float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if rep.Solver != "" {

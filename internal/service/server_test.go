@@ -10,7 +10,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/gen"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 )
 
@@ -40,8 +40,8 @@ func postSolve(t *testing.T, ts *httptest.Server, body string, out any) int {
 	return resp.StatusCode
 }
 
-// marshalRequest renders a gen.Request as a /v1/solve body item.
-func marshalRequest(t *testing.T, req gen.Request) SolveRequest {
+// marshalRequest renders a scenario.Request as a /v1/solve body item.
+func marshalRequest(t *testing.T, req scenario.Request) SolveRequest {
 	t.Helper()
 	instJSON, err := json.Marshal(req.Inst)
 	if err != nil {
@@ -60,7 +60,7 @@ func marshalRequest(t *testing.T, req gen.Request) SolveRequest {
 
 // reqKey identifies a request up to result equality: canonical instance
 // hash plus the result-relevant options.
-func reqKey(hash string, req gen.Request) string {
+func reqKey(hash string, req scenario.Request) string {
 	return fmt.Sprintf("%s|b%d|t%d", hash, req.Budget, req.Target)
 }
 
@@ -114,7 +114,7 @@ func TestHealthzAndSolvers(t *testing.T) {
 
 func TestSolveSingleAndCache(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
-	req := marshalRequest(t, gen.New(5).RequestStream(1, 1)[0])
+	req := marshalRequest(t, scenario.NewGen(5).RequestStream(1, 1)[0])
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestSolveRejectsAdversarialRequests(t *testing.T) {
 
 func TestBatchSolvesAndDeduplicates(t *testing.T) {
 	svc, ts := newTestServer(t, Config{Workers: 2})
-	item := marshalRequest(t, gen.New(9).RequestStream(1, 1)[0])
+	item := marshalRequest(t, scenario.NewGen(9).RequestStream(1, 1)[0])
 	bad := SolveRequest{Instance: json.RawMessage(`{"nodes":[]}`),
 		Options: solver.WireOptions{Budget: new(int64)}}
 	env := map[string]any{"batch": []SolveRequest{item, item, bad, item}}
@@ -248,7 +248,7 @@ func TestBatchSolvesAndDeduplicates(t *testing.T) {
 
 func TestSolvePastDeadlineReturnsPartialNotError(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	inst, err := json.Marshal(gen.New(7).KWayInstance(5, 5, 3, 400))
+	inst, err := json.Marshal(scenario.NewGen(7).KWayInstance(5, 5, 3, 400))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestSolvePastDeadlineReturnsPartialNotError(t *testing.T) {
 
 func TestDeadlineBoundedRequestsUseCacheForCompleteResults(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	inst, err := json.Marshal(gen.New(5).RequestStream(1, 1)[0].Inst)
+	inst, err := json.Marshal(scenario.NewGen(5).RequestStream(1, 1)[0].Inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestDeadlineBoundedRequestsUseCacheForCompleteResults(t *testing.T) {
 func TestLoadConcurrentClients(t *testing.T) {
 	const clients, perClient = 8, 200
 	svc, ts := newTestServer(t, Config{Workers: 4, CacheEntries: 4096})
-	stream := gen.New(42).RequestStream(clients*perClient, 40)
+	stream := scenario.NewGen(42).RequestStream(clients*perClient, 40)
 
 	type outcome struct {
 		key    string
@@ -327,7 +327,7 @@ func TestLoadConcurrentClients(t *testing.T) {
 		outcomes []outcome
 		errs     []string
 	)
-	record := func(req gen.Request, resp SolveResponse) {
+	record := func(req scenario.Request, resp SolveResponse) {
 		mu.Lock()
 		defer mu.Unlock()
 		if resp.Error != "" || resp.Report == nil {

@@ -34,6 +34,10 @@ type SolveResponse struct {
 	// Cached reports that the response was served from the result cache
 	// or coalesced onto an identical in-flight solve, not recomputed.
 	Cached bool `json:"cached"`
+	// CompiledHit reports that the instance's raw bytes were already
+	// compiled: the request skipped JSON decoding, validation, compilation
+	// and canonical hashing, reusing the cached core.Compiled.
+	CompiledHit bool `json:"compiled_hit,omitempty"`
 	// WallMS is the wall time this request spent in the service (queueing
 	// included); the solve's own compute time is Report.WallMS.
 	WallMS float64 `json:"wall_ms"`
@@ -68,10 +72,11 @@ type HealthResponse struct {
 
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
-	UptimeMS float64    `json:"uptime_ms"`
-	Requests int64      `json:"requests"`
-	Cache    CacheStats `json:"cache"`
-	Pool     PoolStats  `json:"pool"`
+	UptimeMS float64            `json:"uptime_ms"`
+	Requests int64              `json:"requests"`
+	Cache    CacheStats         `json:"cache"`
+	Compiled CompiledCacheStats `json:"compiled"`
+	Pool     PoolStats          `json:"pool"`
 }
 
 // errorResponse is the JSON error envelope for non-200 answers.

@@ -33,11 +33,6 @@ const (
 	// autoRaceNodes caps the exact racer; the rounding rival is the
 	// safety net, so the cap only bounds wasted work.
 	autoRaceNodes = 1 << 20
-	// autoRecognizeArcs caps the arc count fed to series-parallel
-	// recognition, whose reduction loop is quadratic in the worst case: a
-	// 50k-arc instance must not burn minutes deciding it is not
-	// series-parallel before the scale tier even starts.
-	autoRecognizeArcs = 4096
 	// autoDenseLPArcs caps the EXPANDED arc count (sum of per-arc chain
 	// arcs) fed to the dense-simplex solvers (bicriteria*, kway5, binary4,
 	// binarybi), whose tableau is quadratic in that size.  Past it, auto
@@ -62,48 +57,49 @@ func (autoSolver) Capabilities() Caps {
 		Guarantee: "inherited from the routed solver"}
 }
 
-// route picks the solver name for the instance and explains why.  The
-// rules, in order: a series-parallel DAG (recognition attempted only below
-// a size cap - the reduction is quadratic) with affordable DP cost goes to
-// the exact spdp; a recognized k-way or recursive-binary duration class
-// goes to the matching approximation (budget mode only - those solvers
-// have no min-resource variant) when its dense LP is affordable; a small
-// assignment space goes to exact branch-and-bound under a node budget; an
-// assignment space near that threshold, when the caller explicitly asked
-// for two or more workers, races exact against a rounding rival (route
-// name "race"); everything else takes an LP-rounding approximation,
-// size-routed: the dense bi-criteria LP while the expansion stays small,
-// the frankwolfe scale tier beyond it.
-func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, opts Options) {
+// route picks the solver name for the instance and explains why.  All
+// instance facts it dispatches on - series-parallel recognition, the
+// duration class, the expansion size and the assignment space - come off
+// the compiled form, where they are derived (and memoized) once instead of
+// recomputed per routing decision.  The rules, in order: a series-parallel
+// DAG (recognition is near-linear and memoized, so it runs at every size)
+// with affordable DP cost goes to the exact spdp; a recognized k-way or
+// recursive-binary duration class goes to the matching approximation
+// (budget mode only - those solvers have no min-resource variant) when its
+// dense LP is affordable; a small assignment space goes to exact
+// branch-and-bound under a node budget; an assignment space near that
+// threshold, when the caller explicitly asked for two or more workers,
+// races exact against a rounding rival (route name "race"); everything
+// else takes an LP-rounding approximation, size-routed: the dense
+// bi-criteria LP while the expansion stays small, the frankwolfe scale
+// tier beyond it.
+func (autoSolver) route(c *core.Compiled, o Options) (name, reason string, opts Options) {
 	obj := o.Objective()
-	m := inst.G.NumEdges()
-	if m <= autoRecognizeArcs {
-		if tree, leafArc, ok := sp.RecognizeMap(inst); ok {
-			b := o.Budget
-			if obj == MinResource {
-				b = inst.MaxUsefulBudget()
-			}
-			if bp := b + 1; bp <= autoSPMaxBudget {
-				if cost := int64(tree.Nodes()) * bp * bp; cost <= autoSPCost {
-					// Hand the recognized decomposition to spdp so it does
-					// not repeat the reduction.
-					o.spTree, o.spLeafArc = tree, leafArc
-					return "spdp", fmt.Sprintf("series-parallel DAG (%d jobs, DP cost %d)", tree.Leaves(), cost), o
-				}
+	m := c.Inst.G.NumEdges()
+	if tree, leafArc, ok := sp.RecognizeCompiled(c); ok {
+		b := o.Budget
+		if obj == MinResource {
+			b = c.MaxUsefulBudget
+		}
+		if bp := b + 1; bp <= autoSPMaxBudget {
+			if cost := int64(tree.Nodes()) * bp * bp; cost <= autoSPCost {
+				// Hand the recognized decomposition to spdp so it does
+				// not repeat the reduction.
+				o.spTree, o.spLeafArc = tree, leafArc
+				return "spdp", fmt.Sprintf("series-parallel DAG (%d jobs, DP cost %d)", tree.Leaves(), cost), o
 			}
 		}
 	}
-	expArcs := expandedArcs(inst)
-	denseOK := expArcs <= autoDenseLPArcs
+	denseOK := c.ExpandedArcs <= autoDenseLPArcs
 	if obj == MinMakespan && denseOK {
-		switch class := duration.Classify(inst.Fns); class {
+		switch c.Class() {
 		case duration.KindKWay:
 			return "kway5", "all jobs k-way splitting (Eq 2)", o
 		case duration.KindBinary:
 			return "binary4", "all jobs recursive binary splitting (Eq 3)", o
 		}
 	}
-	space := assignmentSpace(inst)
+	space := c.AssignmentSpace
 	if space <= autoExactSpace {
 		if o.MaxNodes == 0 {
 			o.MaxNodes = autoExactNodes
@@ -136,29 +132,11 @@ func (autoSolver) route(inst *core.Instance, o Options) (name, reason string, op
 	return rounder, "general step functions, large instance", o
 }
 
-// expandedArcs counts the arcs the Section 3.1 expansion would create: one
-// per single-tuple arc, two per chain otherwise.  It sizes the dense LP
-// without materializing the expansion, saturating once the answer is moot.
-func expandedArcs(inst *core.Instance) int64 {
-	var total int64
-	for _, fn := range inst.Fns {
-		if ts := fn.Tuples(); len(ts) == 1 {
-			total++
-		} else {
-			total += 2 * int64(len(ts))
-		}
-		if total > autoDenseLPArcs {
-			return autoDenseLPArcs + 1
-		}
-	}
-	return total
-}
-
-func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-	name, reason, routed := a.route(inst, o)
+func (a autoSolver) Solve(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+	name, reason, routed := a.route(c, o)
 	if name == raceRoute {
 		rival := routed.raceRival
-		rep, winner, err := raceSolve(ctx, inst, routed, "exact", rival)
+		rep, winner, err := raceSolve(ctx, c, routed, "exact", rival)
 		if rep != nil {
 			rep.Routing = fmt.Sprintf("auto -> race(exact vs %s): %s; winner %s", rival, reason, winner)
 		}
@@ -168,23 +146,9 @@ func (a autoSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.Solve(ctx, inst, routed)
+	rep, err := s.Solve(ctx, c, routed)
 	if rep != nil {
 		rep.Routing = fmt.Sprintf("auto -> %s: %s", name, reason)
 	}
 	return rep, err
-}
-
-// assignmentSpace is the product of per-arc breakpoint counts - the size
-// of the exact search's tuple-assignment space - saturating at one past
-// autoRaceSpace (the largest threshold any routing rule compares against).
-func assignmentSpace(inst *core.Instance) int64 {
-	space := int64(1)
-	for _, fn := range inst.Fns {
-		space *= int64(len(fn.Tuples()))
-		if space > autoRaceSpace {
-			return autoRaceSpace + 1
-		}
-	}
-	return space
 }

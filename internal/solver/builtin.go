@@ -21,13 +21,13 @@ var ErrNotSeriesParallel = errors.New("solver: instance is not two-terminal seri
 type funcSolver struct {
 	name  string
 	caps  Caps
-	solve func(ctx context.Context, inst *core.Instance, o Options) (*Report, error)
+	solve func(ctx context.Context, c *core.Compiled, o Options) (*Report, error)
 }
 
 func (f *funcSolver) Name() string       { return f.name }
 func (f *funcSolver) Capabilities() Caps { return f.caps }
-func (f *funcSolver) Solve(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-	rep, err := f.solve(ctx, inst, o)
+func (f *funcSolver) Solve(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+	rep, err := f.solve(ctx, c, o)
 	if rep != nil {
 		rep.Solver = f.name
 		rep.Objective = o.Objective()
@@ -71,40 +71,40 @@ func init() {
 		name: "bicriteria",
 		caps: Caps{Budget: true, Approximate: true,
 			Guarantee: "makespan <= OPT/alpha using <= B/(1-alpha) resources (Thm 3.4)"},
-		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-			return fromApprox(approx.BiCriteriaCtx(ctx, inst, o.Budget, o.Alpha))
+		solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+			return fromApprox(approx.BiCriteriaCtx(ctx, c, o.Budget, o.Alpha))
 		},
 	})
 	Register(&funcSolver{
 		name: "bicriteria-resource",
 		caps: Caps{Target: true, Approximate: true,
 			Guarantee: "resources <= OPT/(1-alpha) reaching makespan <= T/alpha (Thm 3.4)"},
-		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-			return fromApprox(approx.BiCriteriaResourceCtx(ctx, inst, o.Target, o.Alpha))
+		solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+			return fromApprox(approx.BiCriteriaResourceCtx(ctx, c, o.Target, o.Alpha))
 		},
 	})
 	Register(&funcSolver{
 		name: "kway5",
 		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindKWay},
 			Guarantee: "makespan <= 5 OPT within budget (Thm 3.9)"},
-		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-			return fromApprox(approx.KWay5Ctx(ctx, inst, o.Budget))
+		solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+			return fromApprox(approx.KWay5Ctx(ctx, c, o.Budget))
 		},
 	})
 	Register(&funcSolver{
 		name: "binary4",
 		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindBinary},
 			Guarantee: "makespan <= 4 OPT within budget (Thm 3.10)"},
-		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-			return fromApprox(approx.Binary4Ctx(ctx, inst, o.Budget))
+		solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+			return fromApprox(approx.Binary4Ctx(ctx, c, o.Budget))
 		},
 	})
 	Register(&funcSolver{
 		name: "binarybi",
 		caps: Caps{Budget: true, Approximate: true, Classes: []string{duration.KindBinary},
 			Guarantee: "makespan <= 14/5 OPT using <= 4B/3 resources (Thm 3.16)"},
-		solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-			return fromApprox(approx.BinaryBiCriteriaCtx(ctx, inst, o.Budget))
+		solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+			return fromApprox(approx.BinaryBiCriteriaCtx(ctx, c, o.Budget))
 		},
 	})
 	Register(&funcSolver{
@@ -133,7 +133,7 @@ func fromApprox(res *approx.Result, err error) (*Report, error) {
 // solveExact runs the branch-and-bound search in either mode.  On context
 // cancellation with a solution already in hand, the partial Report is
 // returned together with the context error.
-func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+func solveExact(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 	eopts := &exact.Options{MaxNodes: o.MaxNodes, Parallelism: o.Parallelism}
 	var (
 		sol   core.Solution
@@ -141,9 +141,9 @@ func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, e
 		err   error
 	)
 	if o.Objective() == MinResource {
-		sol, stats, err = exact.MinResourceCtx(ctx, inst, o.Target, eopts)
+		sol, stats, err = exact.MinResourceCompiled(ctx, c, o.Target, eopts)
 	} else {
-		sol, stats, err = exact.MinMakespanCtx(ctx, inst, o.Budget, eopts)
+		sol, stats, err = exact.MinMakespanCompiled(ctx, c, o.Budget, eopts)
 	}
 	if err != nil {
 		return nil, err
@@ -165,9 +165,9 @@ func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, e
 		// Incomplete min-resource runs used to leave LowerBound at 0,
 		// which read as "no bound"; the slack-induced min-flow bound is
 		// always available and sound.
-		rep.LowerBound = float64(exact.ResourceLowerBound(inst, o.Target))
+		rep.LowerBound = float64(exact.ResourceLowerBound(c.Inst, o.Target))
 	} else {
-		rep.LowerBound = float64(exact.BudgetedMakespanLowerBound(inst, o.Budget))
+		rep.LowerBound = float64(exact.BudgetedMakespanLowerBoundCompiled(c, o.Budget))
 	}
 	if stats.Interrupted != nil {
 		return rep, stats.Interrupted
@@ -178,18 +178,18 @@ func solveExact(ctx context.Context, inst *core.Instance, o Options) (*Report, e
 // solveSPDP recognizes the instance as series-parallel, runs the
 // pseudo-polynomial DP, and materializes the optimal table entry as a
 // validated flow on the original instance.
-func solveSPDP(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+func solveSPDP(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 	tree, leafArc := o.spTree, o.spLeafArc
 	if tree == nil {
 		var ok bool
-		tree, leafArc, ok = sp.RecognizeMap(inst)
+		tree, leafArc, ok = sp.RecognizeCompiled(c)
 		if !ok {
 			return nil, ErrNotSeriesParallel
 		}
 	}
 	solveTo := o.Budget
 	if o.Objective() == MinResource {
-		solveTo = inst.MaxUsefulBudget()
+		solveTo = c.MaxUsefulBudget
 	}
 	tables, err := sp.SolveCtx(ctx, tree, solveTo)
 	if err != nil {
@@ -203,11 +203,11 @@ func solveSPDP(ctx context.Context, inst *core.Instance, o Options) (*Report, er
 		}
 		use = l
 	}
-	f, err := tables.Flow(inst, leafArc, use)
+	f, err := tables.Flow(c.Inst, leafArc, use)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := inst.NewSolution(f)
+	sol, err := c.Inst.NewSolution(f)
 	if err != nil {
 		return nil, err
 	}

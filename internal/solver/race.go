@@ -17,7 +17,7 @@ import (
 //
 // The racers share the process, not just the context, so auto only routes
 // here when the caller explicitly opted in with Options.Parallelism >= 2.
-func raceSolve(ctx context.Context, inst *core.Instance, o Options, names ...string) (rep *Report, winner string, err error) {
+func raceSolve(ctx context.Context, c *core.Compiled, o Options, names ...string) (rep *Report, winner string, err error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -34,7 +34,7 @@ func raceSolve(ctx context.Context, inst *core.Instance, o Options, names ...str
 				results <- outcome{name: name, err: err}
 				return
 			}
-			rep, err := s.Solve(rctx, inst, o)
+			rep, err := s.Solve(rctx, c, o)
 			results <- outcome{name: name, rep: rep, err: err}
 		}(name)
 	}

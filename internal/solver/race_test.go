@@ -11,7 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/duration"
-	"repro/internal/gen"
+	"repro/internal/scenario"
 )
 
 // raceFakes registers a pair of probe solvers once: "test-race-fast"
@@ -28,14 +28,14 @@ func registerRaceFakes() {
 		Register(&funcSolver{
 			name: "test-race-fast",
 			caps: Caps{Budget: true, Target: true},
-			solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 				return &Report{Complete: true, Sol: core.Solution{Makespan: 42}}, nil
 			},
 		})
 		Register(&funcSolver{
 			name: "test-race-slow",
 			caps: Caps{Budget: true, Target: true},
-			solve: func(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
+			solve: func(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 				<-ctx.Done()
 				// Non-blocking: repeated test runs must never fill the
 				// buffer and wedge raceSolve on an unread probe signal.
@@ -55,7 +55,7 @@ func registerRaceFakes() {
 func TestRaceFirstCompleteWinsAndLoserIsCanceled(t *testing.T) {
 	registerRaceFakes()
 	inst := bridgeInstance(t, func() duration.Func { return stepFunc(t) })
-	rep, winner, err := raceSolve(context.Background(), inst, NewOptions(WithBudget(3)),
+	rep, winner, err := raceSolve(context.Background(), core.Compile(inst), NewOptions(WithBudget(3)),
 		"test-race-slow", "test-race-fast")
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestRaceNoWinnerReturnsBestFallback(t *testing.T) {
 	inst := bridgeInstance(t, func() duration.Func { return stepFunc(t) })
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // both racers are born canceled
-	_, _, err := raceSolve(ctx, inst, NewOptions(WithBudget(3)), "test-race-slow", "test-race-slow")
+	_, _, err := raceSolve(ctx, core.Compile(inst), NewOptions(WithBudget(3)), "test-race-slow", "test-race-slow")
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v; want context.Canceled from the fallback outcome", err)
 	}
@@ -92,8 +92,8 @@ func TestRaceNoWinnerReturnsBestFallback(t *testing.T) {
 func raceBandInstance(t *testing.T) *core.Instance {
 	t.Helper()
 	for seed := int64(1); seed < 40; seed++ {
-		inst := gen.New(seed).StepInstance(4, 4, 2, 4, 12, 3)
-		if space := assignmentSpace(inst); space > autoExactSpace && space <= autoRaceSpace {
+		inst := scenario.NewGen(seed).StepInstance(4, 4, 2, 4, 12, 3)
+		if space := core.Compile(inst).AssignmentSpace; space > autoExactSpace && space <= autoRaceSpace {
 			return inst
 		}
 	}
@@ -106,8 +106,8 @@ func raceBandInstance(t *testing.T) *core.Instance {
 // it, or far past the threshold, they fall back to the rounding solvers.
 func TestAutoRacingRoute(t *testing.T) {
 	inst := raceBandInstance(t)
-	big := gen.New(3).StepInstance(8, 8, 6, 5, 200, 3) // beyond autoRaceSpace
-	if space := assignmentSpace(big); space <= autoRaceSpace {
+	big := scenario.NewGen(3).StepInstance(8, 8, 6, 5, 200, 3) // beyond autoRaceSpace
+	if space := core.Compile(big).AssignmentSpace; space <= autoRaceSpace {
 		t.Fatalf("assignment space %d; want beyond the race band", space)
 	}
 	tests := []struct {

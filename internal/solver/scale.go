@@ -21,8 +21,8 @@ import (
 // search - so one solve call allocates a constant number of slices
 // regardless of iteration count, the same per-worker state-reuse pattern
 // as exact's MinFlowSolver.
-func solveFrankWolfe(ctx context.Context, inst *core.Instance, o Options) (*Report, error) {
-	s := relax.NewSolver(inst)
+func solveFrankWolfe(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
+	s := relax.NewSolverCompiled(c)
 	opt := relax.Options{Alpha: o.Alpha}
 	var (
 		res *relax.Result

@@ -247,7 +247,11 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Solver is one algorithm behind the unified API.
+// Solver is one algorithm behind the unified API.  Every solver consumes
+// the compiled-instance form (core.Compiled): the topological order,
+// breakpoint tables, canonical hash, envelopes, expansion and recognition
+// results are derived once per instance and shared across solvers instead
+// of re-derived per solve.
 type Solver interface {
 	// Name is the registry key.
 	Name() string
@@ -256,12 +260,14 @@ type Solver interface {
 	// Solve runs the algorithm.  Implementations poll ctx cooperatively;
 	// an interrupted run may return a non-nil partial Report (best
 	// solution so far, Complete=false) together with ctx's error.
-	Solve(ctx context.Context, inst *core.Instance, opts Options) (*Report, error)
+	Solve(ctx context.Context, c *core.Compiled, opts Options) (*Report, error)
 }
 
 // Solve resolves name in the registry, validates the options against the
 // solver's capabilities, applies the deadline, runs the solver and stamps
-// the wall time.  It is the single entry point commands and examples use.
+// the wall time.  It is the single entry point commands and examples use;
+// it compiles the instance first, so callers that solve the same instance
+// repeatedly should compile once themselves and use SolveCompiledOptions.
 func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option) (*Report, error) {
 	return SolveOptions(ctx, name, inst, NewOptions(opts...))
 }
@@ -270,6 +276,29 @@ func Solve(ctx context.Context, name string, inst *core.Instance, opts ...Option
 // point for callers that decode options from a wire form (WireOptions)
 // instead of composing functional options.
 func SolveOptions(ctx context.Context, name string, inst *core.Instance, o Options) (*Report, error) {
+	// Fail fast on an unknown solver or invalid options before paying the
+	// O(m) compilation; SolveCompiledOptions re-checks, which is cheap.
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkOptions(s, o); err != nil {
+		return nil, err
+	}
+	return SolveCompiledOptions(ctx, name, core.Compile(inst), o)
+}
+
+// SolveCompiled is Solve on an already-compiled instance: compile once
+// with core.Compile, then solve under as many solvers, budgets and targets
+// as needed without repeating the preprocessing.
+func SolveCompiled(ctx context.Context, name string, c *core.Compiled, opts ...Option) (*Report, error) {
+	return SolveCompiledOptions(ctx, name, c, NewOptions(opts...))
+}
+
+// SolveCompiledOptions runs a registered solver on an already-compiled
+// instance: the hot path of the solving service, where a cached
+// core.Compiled skips every per-solve re-derivation.
+func SolveCompiledOptions(ctx context.Context, name string, c *core.Compiled, o Options) (*Report, error) {
 	s, err := Get(name)
 	if err != nil {
 		return nil, err
@@ -291,14 +320,14 @@ func SolveOptions(ctx context.Context, name string, inst *core.Instance, o Optio
 	if err := ctx.Err(); err != nil {
 		rep := &Report{Solver: s.Name(), Objective: o.Objective()}
 		if o.Objective() == MinResource {
-			rep.LowerBound = float64(exact.ResourceLowerBound(inst, o.Target))
+			rep.LowerBound = float64(exact.ResourceLowerBound(c.Inst, o.Target))
 		} else {
-			rep.LowerBound = float64(exact.BudgetedMakespanLowerBound(inst, o.Budget))
+			rep.LowerBound = float64(exact.BudgetedMakespanLowerBoundCompiled(c, o.Budget))
 		}
 		rep.Wall = time.Since(start)
 		return rep, err
 	}
-	rep, err := s.Solve(ctx, inst, o)
+	rep, err := s.Solve(ctx, c, o)
 	if rep != nil {
 		rep.Wall = time.Since(start)
 		if rep.Solver == "" {
@@ -309,7 +338,7 @@ func SolveOptions(ctx context.Context, name string, inst *core.Instance, o Optio
 		// but its proven bound does not apply - say so in the Report
 		// rather than advertising a guarantee that does not hold.
 		if caps := s.Capabilities(); caps.Classes != nil {
-			if class := duration.Classify(inst.Fns); !caps.SupportsClass(class) {
+			if class := c.Class(); !caps.SupportsClass(class) {
 				rep.Guarantee = fmt.Sprintf("none: duration class %q is outside this solver's classes %v", class, caps.Classes)
 			}
 		}

@@ -11,7 +11,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/duration"
 	"repro/internal/exact"
-	"repro/internal/gen"
+	"repro/internal/scenario"
 	"repro/internal/sp"
 )
 
@@ -143,7 +143,7 @@ func TestAutoRoutesLargeStepToBiCriteria(t *testing.T) {
 	// 128 arcs with up to 5 breakpoints each: far beyond the exact
 	// search's assignment-space threshold, not series-parallel, and not a
 	// recognized special class.
-	inst := gen.New(3).StepInstance(8, 8, 6, 5, 200, 3)
+	inst := scenario.NewGen(3).StepInstance(8, 8, 6, 5, 200, 3)
 	rep, err := Solve(context.Background(), "auto", inst, WithBudget(10))
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +187,7 @@ func TestCanceledContextAbortsExactWithPartialReport(t *testing.T) {
 	// This instance takes several seconds of branch-and-bound
 	// uninterrupted (~150k nodes/3s); the deadline must cut it off after
 	// a few nodes, keeping the best solution found so far.
-	inst := gen.New(7).KWayInstance(5, 5, 3, 400)
+	inst := scenario.NewGen(7).KWayInstance(5, 5, 3, 400)
 	start := time.Now()
 	rep, err := Solve(context.Background(), "exact", inst,
 		WithBudget(40), WithDeadline(time.Now().Add(150*time.Millisecond)))
@@ -218,7 +218,7 @@ func TestPastDeadlineReturnsImmediateLowerBoundReport(t *testing.T) {
 	// worker pool) before the first cooperative poll noticed the dead
 	// context.  Solve must now return the context error immediately, with
 	// a lower-bound-only Report and zero search nodes.
-	inst := gen.New(7).KWayInstance(5, 5, 3, 400)
+	inst := scenario.NewGen(7).KWayInstance(5, 5, 3, 400)
 	for name, opt := range map[string]Option{
 		"budget": WithBudget(40),
 		// The tightest possible target forces resources onto every
@@ -280,7 +280,7 @@ func TestSPDPRejectsNonSeriesParallel(t *testing.T) {
 }
 
 func TestSPDPFlowMatchesTables(t *testing.T) {
-	g := gen.New(11)
+	g := scenario.NewGen(11)
 	for trial := 0; trial < 10; trial++ {
 		tree := g.SPTree(6, 3, 20, 3)
 		inst, _, err := tree.ToInstance()
@@ -444,7 +444,7 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 // duration class would otherwise pick a dense-LP class solver — and the
 // report carries a certified bound with its ratio.
 func TestAutoRoutesHugeToFrankWolfe(t *testing.T) {
-	g := gen.New(9)
+	g := scenario.NewGen(9)
 	tests := []struct {
 		name   string
 		inst   *core.Instance

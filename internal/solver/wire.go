@@ -9,6 +9,8 @@ package solver
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/core"
 )
 
 // WireOptions is the JSON wire form of the solve options.  Pointer fields
@@ -79,6 +81,16 @@ func (w WireOptions) Resolve(now time.Time) (Options, error) {
 // reports.
 func (o Options) CacheKey() string {
 	return fmt.Sprintf("b%d.t%d.a%g.n%d.p%d", o.Budget, o.Target, o.Alpha, o.MaxNodes, o.Parallelism)
+}
+
+// ResultCacheKey is the full identity of one solve outcome: the solver
+// name, the compiled instance's canonical hash, and the result-relevant
+// options.  Keying on the precomputed canonical hash makes cache hits
+// insensitive to node naming and arc order end-to-end - two isomorphic
+// JSON encodings of the same DAG share one key - and costs nothing on a
+// hot compiled instance, where the hash was computed exactly once.
+func ResultCacheKey(name string, c *core.Compiled, o Options) string {
+	return name + "|" + c.Hash() + "|" + o.CacheKey()
 }
 
 // Info is the JSON-encodable description of one registered solver: its

@@ -20,77 +20,193 @@ func Recognize(inst *core.Instance) (*Tree, bool) {
 // decomposition-tree leaf to the arc ID it came from, in the form
 // Tables.Flow expects - so a DP solution over the recognized tree can be
 // materialized as a validated flow on the original instance.
+//
+// The reduction is worklist-driven and near-linear: every applied
+// reduction removes one arc and performs O(1) amortized hash-map updates,
+// and a vertex or endpoint pair is re-examined only when one of its arcs
+// changed.  (The previous implementation rescanned every arc and rebuilt
+// its degree maps per reduction, which was quadratic and forced callers to
+// gate recognition behind arc-count limits.)
 func RecognizeMap(inst *core.Instance) (*Tree, map[*Tree]int, bool) {
+	m := inst.G.NumEdges()
 	type arc struct {
 		from, to int
 		tree     *Tree
+		alive    bool
 	}
-	leafArc := make(map[*Tree]int, inst.G.NumEdges())
-	// Work on a mutable arc list; node degrees are tracked as counts.
-	arcs := make([]*arc, 0, inst.G.NumEdges())
-	for e := 0; e < inst.G.NumEdges(); e++ {
+	arcs := make([]arc, m)
+	leafArc := make(map[*Tree]int, m)
+	// Per-node alive-arc sets.  Maps give O(1) amortized insert/delete and
+	// O(1) retrieval of the single member when a degree hits one.
+	in := make(map[int]map[int]struct{}, inst.G.NumNodes())
+	out := make(map[int]map[int]struct{}, inst.G.NumNodes())
+	addIn := func(v, e int) {
+		s := in[v]
+		if s == nil {
+			s = make(map[int]struct{}, 2)
+			in[v] = s
+		}
+		s[e] = struct{}{}
+	}
+	addOut := func(v, e int) {
+		s := out[v]
+		if s == nil {
+			s = make(map[int]struct{}, 2)
+			out[v] = s
+		}
+		s[e] = struct{}{}
+	}
+	// pairArcs groups alive arcs by endpoint pair for parallel merging.
+	// Entries can go stale (an arc died or was re-keyed by a series
+	// contraction); they are dropped lazily when their key is examined.
+	// Each arc enters at most one new key per contraction that consumes an
+	// arc, so total insertions stay O(m).
+	type pair struct{ from, to int }
+	pairArcs := make(map[pair][]int, m)
+	alive := m
+
+	for e := 0; e < m; e++ {
 		ed := inst.G.Edge(e)
 		leaf := Leaf(inst.Fns[e])
 		leafArc[leaf] = e
-		arcs = append(arcs, &arc{from: ed.From, to: ed.To, tree: leaf})
+		arcs[e] = arc{from: ed.From, to: ed.To, tree: leaf, alive: true}
+		addIn(ed.To, e)
+		addOut(ed.From, e)
+		pairArcs[pair{ed.From, ed.To}] = append(pairArcs[pair{ed.From, ed.To}], e)
 	}
 	s, t := inst.Source, inst.Sink
 
-	remove := func(i int) {
-		arcs[i] = arcs[len(arcs)-1]
-		arcs = arcs[:len(arcs)-1]
+	kill := func(e int) {
+		arcs[e].alive = false
+		delete(out[arcs[e].from], e)
+		delete(in[arcs[e].to], e)
+		alive--
 	}
 
-	for {
-		if len(arcs) == 1 && arcs[0].from == s && arcs[0].to == t {
-			return arcs[0].tree, leafArc, true
+	// Worklists.  seen* de-duplicate pending entries so each is queued at
+	// most once per change that touches it.
+	var pendingPairs []pair
+	var pendingNodes []int
+	inPairQ := make(map[pair]bool, m)
+	inNodeQ := make(map[int]bool, inst.G.NumNodes())
+	pushPair := func(p pair) {
+		if !inPairQ[p] {
+			inPairQ[p] = true
+			pendingPairs = append(pendingPairs, p)
 		}
-		changed := false
+	}
+	pushNode := func(v int) {
+		if v != s && v != t && !inNodeQ[v] {
+			inNodeQ[v] = true
+			pendingNodes = append(pendingNodes, v)
+		}
+	}
+	for p := range pairArcs {
+		pushPair(p)
+	}
+	for v := 0; v < inst.G.NumNodes(); v++ {
+		pushNode(v)
+	}
 
-		// Parallel reduction: two arcs with identical endpoints merge.
-		seen := make(map[[2]int]int, len(arcs))
-		for i := 0; i < len(arcs); i++ {
-			key := [2]int{arcs[i].from, arcs[i].to}
-			if j, ok := seen[key]; ok {
-				arcs[j].tree = Parallel(arcs[j].tree, arcs[i].tree)
-				remove(i)
-				changed = true
-				break
+	// mergeParallel collapses every alive arc under key p onto one arc.
+	mergeParallel := func(p pair) {
+		list := pairArcs[p]
+		w := 0
+		for _, e := range list {
+			if arcs[e].alive && arcs[e].from == p.from && arcs[e].to == p.to {
+				list[w] = e
+				w++
 			}
-			seen[key] = i
 		}
-		if changed {
-			continue
+		list = list[:w]
+		if len(list) >= 2 {
+			keep := list[0]
+			for _, drop := range list[1:] {
+				arcs[keep].tree = Parallel(arcs[keep].tree, arcs[drop].tree)
+				kill(drop)
+			}
+			list = list[:1]
+			pushNode(p.from)
+			pushNode(p.to)
 		}
+		if len(list) == 0 {
+			delete(pairArcs, p)
+		} else {
+			pairArcs[p] = list
+		}
+	}
 
-		// Series reduction: an internal vertex with exactly one incoming
-		// and one outgoing arc is contracted.
-		indeg := make(map[int][]int)
-		outdeg := make(map[int][]int)
-		for i, a := range arcs {
-			indeg[a.to] = append(indeg[a.to], i)
-			outdeg[a.from] = append(outdeg[a.from], i)
+	for len(pendingPairs) > 0 || len(pendingNodes) > 0 {
+		for len(pendingPairs) > 0 {
+			p := pendingPairs[len(pendingPairs)-1]
+			pendingPairs = pendingPairs[:len(pendingPairs)-1]
+			inPairQ[p] = false
+			mergeParallel(p)
 		}
-		for v, ins := range indeg {
-			if v == s || v == t {
-				continue
-			}
-			outs := outdeg[v]
-			if len(ins) != 1 || len(outs) != 1 {
-				continue
-			}
-			i, j := ins[0], outs[0]
-			if i == j {
-				continue // self loop; not a DAG anyway
-			}
-			arcs[i].tree = Series(arcs[i].tree, arcs[j].tree)
-			arcs[i].to = arcs[j].to
-			remove(j)
-			changed = true
+		if len(pendingNodes) == 0 {
 			break
 		}
-		if !changed {
-			return nil, nil, false
+		v := pendingNodes[len(pendingNodes)-1]
+		pendingNodes = pendingNodes[:len(pendingNodes)-1]
+		inNodeQ[v] = false
+		if len(in[v]) != 1 || len(out[v]) != 1 {
+			continue
+		}
+		var i, j int
+		for e := range in[v] {
+			i = e
+		}
+		for e := range out[v] {
+			j = e
+		}
+		if i == j {
+			continue // self loop; not a DAG anyway
+		}
+		// Series contraction: u -i-> v -j-> w becomes u -i-> w.
+		u, w := arcs[i].from, arcs[j].to
+		arcs[i].tree = Series(arcs[i].tree, arcs[j].tree)
+		kill(j)
+		delete(in[v], i)
+		arcs[i].to = w
+		addIn(w, i)
+		np := pair{u, w}
+		pairArcs[np] = append(pairArcs[np], i)
+		pushPair(np)
+		pushNode(u)
+		pushNode(w)
+	}
+
+	if alive != 1 {
+		return nil, nil, false
+	}
+	for e := range arcs {
+		if arcs[e].alive {
+			if arcs[e].from == s && arcs[e].to == t {
+				return arcs[e].tree, leafArc, true
+			}
+			break
 		}
 	}
+	return nil, nil, false
+}
+
+// recognition is the memoized result of RecognizeCompiled.
+type recognition struct {
+	tree    *Tree
+	leafArc map[*Tree]int
+	ok      bool
+}
+
+// RecognizeCompiled is RecognizeMap memoized on the compiled instance: the
+// reduction runs at most once per core.Compiled, no matter how many
+// solvers (the auto router, the spdp solver, repeated service requests on
+// a hot instance) ask.  The returned tree and map are shared and must be
+// treated as immutable; the DP (SolveCtx) already never mutates the tree.
+func RecognizeCompiled(c *core.Compiled) (*Tree, map[*Tree]int, bool) {
+	v := c.Memo("sp.recognize", func() any {
+		tree, leafArc, ok := RecognizeMap(c.Inst)
+		return recognition{tree: tree, leafArc: leafArc, ok: ok}
+	})
+	r := v.(recognition)
+	return r.tree, r.leafArc, r.ok
 }

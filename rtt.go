@@ -78,11 +78,24 @@ const (
 	MinResource = solver.MinResource
 )
 
+// Compiled is the immutable preprocessed form of an Instance: CSR
+// adjacency, topological order, canonical hash, breakpoint tables, convex
+// envelopes, combinatorial bounds, and lazily derived expansion and
+// recognition results, shared by every solver.  Compile once, solve many.
+type Compiled = core.Compiled
+
+// Compile derives the compiled form of a validated instance.
+var Compile = core.Compile
+
 // Solver registry and dispatch.
 var (
 	// Solve resolves a solver by name, validates options against its
-	// capabilities and runs it under the context.
+	// capabilities and runs it under the context.  It compiles the
+	// instance first; callers solving the same instance repeatedly should
+	// Compile once and use SolveCompiled.
 	Solve = solver.Solve
+	// SolveCompiled is Solve on an already-compiled instance.
+	SolveCompiled = solver.SolveCompiled
 	// RegisterSolver adds a custom solver to the registry.
 	RegisterSolver = solver.Register
 	// GetSolver resolves a registered solver by name.
