@@ -188,6 +188,16 @@ func loadBaseline(path string) (Baseline, error) {
 	return b, nil
 }
 
+// sortedNames returns the benchmark names of m in sorted order.
+func sortedNames(m map[string]Record) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // gate is one metric's aggregate comparison.
 type gate struct {
 	label     string
@@ -217,6 +227,12 @@ func (g *gate) verdict() bool {
 	return true
 }
 
+// doCompare prints the comparison and renders the gate verdict.  Its
+// whole report is ordering-sensitive: WARN/NOTE lines and the ratio table
+// must come out identically for identical inputs (CI logs are diffed
+// across runs), so both baselines are walked in sorted name order.
+//
+//rt:deterministic
 func doCompare(basePath, newPath string, threshold, allocThreshold float64) (bool, error) {
 	base, err := loadBaseline(basePath)
 	if err != nil {
@@ -236,7 +252,8 @@ func doCompare(basePath, newPath string, threshold, allocThreshold float64) (boo
 	var rows []row
 	nsGate := &gate{label: "ns/op", threshold: threshold}
 	allocGate := &gate{label: "allocs/op", threshold: allocThreshold}
-	for name, oldRec := range base.Benchmarks {
+	for _, name := range sortedNames(base.Benchmarks) {
+		oldRec := base.Benchmarks[name]
 		newRec, ok := fresh.Benchmarks[name]
 		if !ok {
 			fmt.Printf("WARN  %-50s missing from the new run\n", name)
@@ -255,7 +272,7 @@ func doCompare(basePath, newPath string, threshold, allocThreshold float64) (boo
 		}
 		rows = append(rows, r)
 	}
-	for name := range fresh.Benchmarks {
+	for _, name := range sortedNames(fresh.Benchmarks) {
 		if _, ok := base.Benchmarks[name]; !ok {
 			fmt.Printf("NOTE  %-50s new benchmark, not gated yet\n", name)
 		}

@@ -1,0 +1,27 @@
+// Command rtlint runs the repo's custom analyzer suite (see
+// internal/analysis): detrange, compiledimmut, ctxpoll, hotalloc and
+// cachekey statically enforce the determinism, immutability, anytime and
+// zero-alloc invariants the runtime tests can only spot-check.
+//
+// Two modes:
+//
+//	rtlint [packages]                      standalone, loads packages via
+//	                                       the go command (default ./...)
+//	go vet -vettool=$(which rtlint) ./...  unitchecker protocol; also
+//	                                       covers _test.go files
+//
+// Standalone mode accepts -json for machine-readable findings and one
+// boolean flag per analyzer to narrow the suite (go vet forwards the same
+// flags).  Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/rtlint"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], rtlint.Suite()))
+}

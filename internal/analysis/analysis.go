@@ -1,0 +1,220 @@
+// Package analysis is a self-contained, stdlib-only analysis framework
+// shaped after golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// Why not x/tools itself?  This module is dependency-free by policy (see
+// go.mod), and the repo's invariants need bespoke analyzers far more than
+// they need the full framework: no analyzer here uses facts, SSA, or
+// cross-package results.  The subset implemented below — Analyzer, Pass,
+// Diagnostic, plus the two driver protocols in internal/analysis/driver
+// (standalone via `go list`, and the `go vet -vettool` unitchecker
+// contract) — is API-compatible enough that the analyzers could be
+// ported to x/tools by changing imports, should the dependency policy
+// ever change.
+//
+// The analyzers themselves live in subpackages (detrange, compiledimmut,
+// ctxpoll, hotalloc, cachekey); internal/analysis/rtlint aggregates them
+// into the suite cmd/rtlint runs.  Each one enforces an invariant the
+// repository's tests can only spot-check at runtime:
+//
+//	detrange       byte-deterministic output paths never iterate maps
+//	               unordered (the static form of the byte-identical
+//	               wire-report property tests)
+//	compiledimmut  *core.Compiled is never written outside internal/core
+//	               (a mutation of a pool-shared compiled form is a data
+//	               race by construction)
+//	ctxpoll        solver work loops poll their context on a bounded
+//	               interval (the anytime-solve guarantee)
+//	hotalloc       //rt:hotpath functions stay free of allocating
+//	               constructs (the static complement of the allocs/op
+//	               bench gate)
+//	cachekey       every solver.Options field is consumed by CacheKey or
+//	               explicitly excluded (no silent result-cache poisoning)
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.  It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then the full invariant it enforces.
+	Doc string
+	// Run applies the analyzer to one package.  Diagnostics go through
+	// pass.Report; the result value is unused by this framework (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics.  Analyzers must not mutate any Pass field.
+type Pass struct {
+	// Analyzer is the currently running analyzer.
+	Analyzer *Analyzer
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type information for Files (Types, Defs, Uses and
+	// Selections are always populated).
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf constructs and reports a diagnostic at pos.  The message is a
+// plain string here (no formatting verbs in any caller need arguments
+// beyond positions); use Report for preformatted messages.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// FileOf returns the file whose extent contains pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// PkgPath returns the package's import path as reported by the build
+// system, normalized so that scope rules treat a package's test variants
+// like the package itself: the " [foo.test]" suffix of a test-augmented
+// compilation and the "_test" suffix of an external test package are both
+// stripped.
+func (p *Pass) PkgPath() string {
+	return NormalizePkgPath(p.Pkg.Path())
+}
+
+// NormalizePkgPath strips test-variant decorations from a package path:
+// "repro/internal/core [repro/internal/core.test]" and
+// "repro/internal/core_test" both normalize to "repro/internal/core".
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// The //rt: annotation contract.
+//
+// Production code communicates with the analyzers through structured
+// comments.  Each is a single comment line containing the marker
+// (anywhere in the line, so it can carry a justification after it):
+//
+//	//rt:hotpath       on a function: hotalloc forbids allocating
+//	                   constructs in its body
+//	//rt:deterministic on a function: detrange treats it as a root of
+//	                   ordering-sensitive output
+//	//rt:bounded       on a loop: ctxpoll accepts it without a context
+//	                   poll because its trip count is small by
+//	                   construction
+//	//rt:unordered     on a map-range loop in detrange scope: the author
+//	                   asserts iteration order cannot reach any output
+//
+// Function markers may appear anywhere in the doc comment; statement
+// markers must sit on the statement's own line or the line directly
+// above it.
+
+// FuncAnnotated reports whether the function's doc comment contains the
+// marker (e.g. "//rt:hotpath").
+func FuncAnnotated(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeAnnotated reports whether a comment line containing the marker sits
+// on node's first line or the line directly above it within file.
+func NodeAnnotated(fset *token.FileSet, file *ast.File, node ast.Node, marker string) bool {
+	if file == nil {
+		return false
+	}
+	line := fset.Position(node.Pos()).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, marker) {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsMapType reports whether t's core type is a map.
+func IsMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// FuncDecls returns the package's function declarations with bodies, in
+// file order.
+func FuncDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves the called function or method of call within the
+// pass's package, or nil for indirect calls, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,204 @@
+// Package analysistest runs an analyzer over a golden corpus and checks
+// its diagnostics against // want comments, shaped after
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A corpus lives under <testdata>/src/<dir>; each dir is one package
+// whose import path is "rtlinttest/<dir>" (nested dirs supported, so a
+// corpus can model path-scoped rules like internal/core ownership).
+// Imports between corpus packages resolve through the same tree;
+// standard-library imports are type-checked from GOROOT source, so the
+// tests need no pre-built export data and run offline.
+//
+// Expectations are comments of the form
+//
+//	code // want "regexp" `another regexp`
+//
+// each quoted pattern must match the message of a distinct diagnostic
+// reported on that line, and every diagnostic must be matched by some
+// pattern.  A package with no // want comments asserts the analyzer is
+// silent on it.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// prefix is the import-path namespace of corpus packages.
+const prefix = "rtlinttest/"
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (tests run with the package directory as working directory).
+func TestData() string {
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return td
+}
+
+// Run loads each corpus package, applies the analyzer, and reports any
+// mismatch between diagnostics and // want expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    filepath.Join(testdata, "src"),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*driver.Unit),
+		loading: make(map[string]bool),
+	}
+	for _, dir := range dirs {
+		u, err := l.load(prefix + dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		findings, err := driver.Run(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
+		check(t, fset, u, findings)
+	}
+}
+
+// loader resolves corpus import paths against the testdata tree and
+// everything else against GOROOT source.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	std     types.Importer
+	pkgs    map[string]*driver.Unit
+	loading map[string]bool
+}
+
+// Import implements types.Importer for the type-checker.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if !strings.HasPrefix(path, prefix) {
+		return l.std.Import(path)
+	}
+	u, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return u.Pkg, nil
+}
+
+// load parses and type-checks one corpus package, caching the unit.
+func (l *loader) load(path string) (*driver.Unit, error) {
+	if u, ok := l.pkgs[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, prefix)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	u, err := driver.Check(l.fset, path, files, nil, l, "")
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = u
+	return u, nil
+}
+
+// expectation is one quoted pattern of a // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// check matches findings against the unit's // want comments.
+func check(t *testing.T, fset *token.FileSet, u *driver.Unit, findings []driver.Finding) {
+	t.Helper()
+	var expts []expectation
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" && (rest[0] == '"' || rest[0] == '`') {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q", posn, rest)
+						break
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q", posn, q)
+						break
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						break
+					}
+					expts = append(expts, expectation{
+						file: posn.Filename,
+						line: posn.Line,
+						re:   re,
+						raw:  pat,
+					})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for i := range expts {
+			e := &expts[i]
+			if !e.matched && e.file == f.Posn.Filename && e.line == f.Posn.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Posn, f.Message)
+		}
+	}
+	for _, e := range expts {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package cachekey implements the rtlint analyzer that keeps
+// solver.Options and Options.CacheKey in lockstep.
+//
+// The result cache keys on (solver, instance hash, Options.CacheKey()).
+// An Options field that CacheKey does not render is invisible to the
+// cache: two requests differing only in that field collapse onto one
+// entry, and the second silently receives the first's result.  That
+// failure mode appears exactly when someone adds an option and forgets
+// the key - too late for any existing test to notice.
+//
+// In every package declaring a struct type Options with a CacheKey
+// method, the analyzer computes the set of Options fields read anywhere
+// in CacheKey's intra-package call tree, unions it with the explicit
+// exclusion set (a package-level `cacheKeyExcluded` map or slice whose
+// entries justify themselves: deadline-like fields that select how to
+// compute, never what), and requires every struct field to appear in
+// exactly one of the two.  A stale exclusion - naming no field, or
+// naming one that CacheKey meanwhile renders - is flagged too, so the
+// exclusion list cannot rot into dead paper.
+package cachekey
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cachekey analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "every solver.Options field must be rendered by CacheKey or excluded\n\n" +
+		"A field absent from both poisons the result cache across differing\n" +
+		"values the day it is added.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	optType, optSpec := findOptions(pass)
+	if optType == nil {
+		return nil, nil
+	}
+	decls := analysis.FuncDecls(pass.Files)
+	cacheKey := findMethod(pass, decls, optType, "CacheKey")
+	if cacheKey == nil {
+		return nil, nil
+	}
+
+	consumed := consumedFields(pass, decls, optType, cacheKey)
+	excluded, excludedPos := exclusionSet(pass)
+
+	structType, ok := optSpec.Type.(*ast.StructType)
+	if !ok {
+		return nil, nil
+	}
+	fields := make(map[string]bool)
+	for _, field := range structType.Fields.List {
+		for _, name := range field.Names {
+			fields[name.Name] = true
+			switch {
+			case consumed[name.Name] && excluded[name.Name]:
+				pass.Reportf(name.Pos(), "Options."+name.Name+
+					" is rendered by CacheKey but also listed in cacheKeyExcluded; drop the stale exclusion")
+			case !consumed[name.Name] && !excluded[name.Name]:
+				pass.Reportf(name.Pos(), "Options."+name.Name+
+					" is neither rendered by CacheKey nor listed in cacheKeyExcluded; an unkeyed option poisons the result cache")
+			}
+		}
+	}
+	for name, pos := range excludedPos {
+		if !fields[name] {
+			pass.Reportf(pos, "cacheKeyExcluded entry "+strconv.Quote(name)+
+				" names no Options field; remove the stale entry")
+		}
+	}
+	return nil, nil
+}
+
+// findOptions locates the package's Options struct type.
+func findOptions(pass *analysis.Pass) (*types.Named, *ast.TypeSpec) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Options" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok {
+					if _, ok := named.Underlying().(*types.Struct); ok {
+						return named, ts
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findMethod locates a declared method of recv (by value or pointer).
+func findMethod(pass *analysis.Pass, decls []*ast.FuncDecl, recv *types.Named, name string) *ast.FuncDecl {
+	for _, fd := range decls {
+		if fd.Recv == nil || fd.Name.Name != name || len(fd.Recv.List) != 1 {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok && sameNamed(tv.Type, recv) {
+			return fd
+		}
+	}
+	return nil
+}
+
+func sameNamed(t types.Type, want *types.Named) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == want.Obj()
+}
+
+// consumedFields collects Options field names read anywhere in the
+// CacheKey call tree within this package.
+func consumedFields(pass *analysis.Pass, decls []*ast.FuncDecl, optType *types.Named, root *ast.FuncDecl) map[string]bool {
+	declOf := make(map[types.Object]*ast.FuncDecl, len(decls))
+	for _, fd := range decls {
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			declOf[obj] = fd
+		}
+	}
+	consumed := make(map[string]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var walk func(fd *ast.FuncDecl)
+	walk = func(fd *ast.FuncDecl) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && sameNamed(tv.Type, optType) {
+					if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+						consumed[n.Sel.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := analysis.CalleeFunc(pass.TypesInfo, n); callee != nil {
+					if next, ok := declOf[callee]; ok {
+						walk(next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return consumed
+}
+
+// exclusionSet parses the package-level cacheKeyExcluded declaration: a
+// map literal keyed by string constants, or a slice of string constants.
+func exclusionSet(pass *analysis.Pass) (map[string]bool, map[string]token.Pos) {
+	set := make(map[string]bool)
+	pos := make(map[string]token.Pos)
+	add := func(e ast.Expr) {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil {
+			return
+		}
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			set[s] = true
+			pos[s] = e.Pos()
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "cacheKeyExcluded" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							add(kv.Key)
+						} else {
+							add(elt)
+						}
+					}
+				}
+			}
+		}
+	}
+	return set, pos
+}

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cachekey.Analyzer, "cachekey")
+}

@@ -1,0 +1,34 @@
+// Package cachekey is the golden corpus for the cachekey analyzer: an
+// Options struct whose fields cover every verdict — rendered, excluded,
+// rendered-and-excluded (stale exclusion), and forgotten — plus an
+// exclusion entry naming no field at all.
+package cachekey
+
+import "strconv"
+
+// Options mirrors solver.Options for the corpus.
+type Options struct {
+	Budget   int64
+	Target   int64
+	Deadline int64
+	Stale    int64 // want `Options\.Stale is rendered by CacheKey but also listed in cacheKeyExcluded`
+	Orphan   int64 // want `Options\.Orphan is neither rendered by CacheKey nor listed in cacheKeyExcluded`
+}
+
+// cacheKeyExcluded justifies the fields CacheKey leaves out.
+var cacheKeyExcluded = map[string]string{
+	"Deadline": "selects how long to compute, never what",
+	"Stale":    "stale entry: the field is rendered nowadays",
+	"Ghost":    "names no field at all", // want `cacheKeyExcluded entry "Ghost" names no Options field`
+}
+
+// CacheKey renders the result-relevant options.
+func (o Options) CacheKey() string {
+	return "b" + strconv.FormatInt(o.Budget, 10) + o.tail()
+}
+
+// tail continues the rendering: consumption is collected over the whole
+// intra-package call tree, not just CacheKey's own body.
+func (o Options) tail() string {
+	return ".t" + strconv.FormatInt(o.Target, 10) + ".s" + strconv.FormatInt(o.Stale, 10)
+}

@@ -1,0 +1,13 @@
+package compiledimmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/compiledimmut"
+)
+
+func TestCompiledImmut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), compiledimmut.Analyzer,
+		"compiledimmut", "compiledimmut/internal/core")
+}

@@ -1,0 +1,47 @@
+// Package compiledimmut is the golden corpus for the compiledimmut
+// analyzer: outside internal/core, every write whose destination chain
+// passes through a Compiled or Expanded is flagged, as is constructing
+// either type by hand.
+package compiledimmut
+
+import "rtlinttest/compiledimmut/internal/core"
+
+// mutate writes through the shared compiled form in every shape the
+// analyzer recognizes.
+func mutate(c *core.Compiled) {
+	c.Topo[0] = 1   // want `write to a core\.Compiled outside internal/core`
+	c.Memo["k"] = 2 // want `write to a core\.Compiled outside internal/core`
+	c.Inner.N = 3   // want `write to a core\.Expanded outside internal/core`
+	c.Inner.N++     // want `write to a core\.Expanded outside internal/core`
+}
+
+// construct builds compiled forms by hand, bypassing core.Compile's
+// invariants.
+func construct() *core.Compiled {
+	e := core.Expanded{N: 1} // want `composite literal of a core compiled type outside internal/core`
+	c := core.Compiled{      // want `composite literal of a core compiled type outside internal/core`
+		Inner: e,
+	}
+	return &c
+}
+
+// read only reads and extracts aliases: both must pass (alias writes are
+// the race detector's job, not this analyzer's).
+func read(c *core.Compiled) int {
+	n := c.Inner.N
+	topo := c.Topo
+	return n + topo[0] + len(c.Memo)
+}
+
+// Compiled here is a local type that merely shares the protected name;
+// it is not core-owned, so mutating it must pass.
+type Compiled struct {
+	X int
+}
+
+// mutateLocal writes to the local namesake.
+func mutateLocal(c *Compiled) {
+	c.X = 1
+	c.X++
+	_ = Compiled{X: 2}
+}

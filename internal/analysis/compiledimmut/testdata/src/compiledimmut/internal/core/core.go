@@ -1,0 +1,28 @@
+// Package core models internal/core for the compiledimmut corpus: its
+// import path ends in internal/core, so the analyzer exempts it and its
+// own construction and mutation of Compiled must pass unflagged.
+package core
+
+// Compiled mirrors the production compiled form.
+type Compiled struct {
+	Topo  []int
+	Memo  map[string]int
+	Inner Expanded
+}
+
+// Expanded mirrors the production expansion twin.
+type Expanded struct {
+	N int
+}
+
+// Compile constructs and freely mutates a Compiled: inside the owning
+// package every write is legal.
+func Compile(n int) *Compiled {
+	c := &Compiled{Topo: make([]int, n), Memo: make(map[string]int)}
+	for i := range c.Topo {
+		c.Topo[i] = i
+	}
+	c.Inner.N = n
+	c.Memo["n"] = n
+	return c
+}

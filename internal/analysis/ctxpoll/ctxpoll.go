@@ -1,0 +1,283 @@
+// Package ctxpoll implements the rtlint analyzer that enforces the
+// solver packages' anytime guarantee: context-bearing work loops must
+// poll their context on a bounded interval.
+//
+// Every solver entry point accepts a context and promises to return
+// "soon" after it is cancelled (rtserve's deadlines, the auto-router's
+// race, CI's timeouts all rely on it).  That promise dies silently when a
+// new search loop forgets the poll.  Within the solver packages
+// (internal/exact, internal/relax, internal/lp, internal/sp) the analyzer
+// checks every context-bearing function - one with a context.Context
+// parameter or a context-typed expression in its body:
+//
+//   - a function that polls its context directly anywhere (ctx.Err,
+//     ctx.Done, ctx.Deadline) satisfies the guarantee wholly, wherever
+//     the poll sits in its loop nest;
+//   - otherwise every top-level for-loop that performs calls must poll:
+//     directly, by passing the context to a callee (which then owns the
+//     obligation), or by calling a same-package function that polls
+//     (computed as a fixpoint over the package call graph);
+//   - an exported function with a context parameter must poll somewhere
+//     by the same rules - accepting a context and ignoring it is how
+//     anytime semantics regress one wrapper at a time.
+//
+// Loops exempt by construction: range loops (bounded by their operand),
+// call-free loops (pure arithmetic makes progress without blocking), and
+// loops annotated //rt:bounded whose trip count is small by construction.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxpoll analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "solver work loops must poll their context on a bounded interval\n\n" +
+		"Preserves the anytime guarantee: cancellation and deadlines must\n" +
+		"interrupt every unbounded search loop in the solver packages.",
+	Run: run,
+}
+
+// scopeSuffixes are the solver packages under the anytime contract.
+var scopeSuffixes = []string{
+	"internal/exact",
+	"internal/relax",
+	"internal/lp",
+	"internal/sp",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopeSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.PkgPath()) {
+		return nil, nil
+	}
+	decls := analysis.FuncDecls(pass.Files)
+	declOf := make(map[types.Object]*ast.FuncDecl, len(decls))
+	for _, fd := range decls {
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			declOf[obj] = fd
+		}
+	}
+
+	// polls is the fixpoint set of package functions that poll a context,
+	// directly or by delegating to something that does.
+	polls := make(map[*ast.FuncDecl]bool)
+	for _, fd := range decls {
+		if directPoll(pass.TypesInfo, fd.Body) || argPoll(pass.TypesInfo, fd.Body, declOf) {
+			polls[fd] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if polls[fd] {
+				continue
+			}
+			if callsPolling(pass.TypesInfo, fd.Body, declOf, polls) {
+				polls[fd] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		if !contextBearing(pass.TypesInfo, fd) {
+			continue
+		}
+		if directPoll(pass.TypesInfo, fd.Body) {
+			continue // the function owns its polling; interval placement is its business
+		}
+		file := pass.FileOf(fd.Pos())
+		for _, stmt := range fd.Body.List {
+			loop, ok := stmt.(*ast.ForStmt)
+			if !ok {
+				continue
+			}
+			if !hasNonBuiltinCall(pass.TypesInfo, loop) {
+				continue
+			}
+			if analysis.NodeAnnotated(pass.Fset, file, loop, "//rt:bounded") {
+				continue
+			}
+			if loopPolls(pass.TypesInfo, loop, declOf, polls) {
+				continue
+			}
+			pass.Reportf(loop.For, "unbounded loop in context-bearing function "+fd.Name.Name+
+				" never polls the context; check ctx.Err() on a bounded interval or annotate //rt:bounded")
+		}
+		// Exported entry points must not swallow the context entirely.
+		if fd.Name.IsExported() && hasCtxParam(pass.TypesInfo, fd) &&
+			!polls[fd] && bodyHasNonBuiltinCall(pass.TypesInfo, fd.Body) {
+			pass.Reportf(fd.Name.Pos(), "exported function "+fd.Name.Name+
+				" receives a context but neither polls it nor passes it on; the anytime guarantee is lost here")
+		}
+	}
+	return nil, nil
+}
+
+// contextBearing reports whether fd receives or touches a context.
+func contextBearing(info *types.Info, fd *ast.FuncDecl) bool {
+	if hasCtxParam(info, fd) {
+		return true
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if tv, ok := info.Types[e]; ok && analysis.IsContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && analysis.IsContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// directPoll reports whether the node calls Err, Done or Deadline on a
+// context-typed expression.
+func directPoll(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Err", "Done", "Deadline":
+			if tv, ok := info.Types[sel.X]; ok && analysis.IsContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// argPoll reports whether the node contains a call that hands a
+// context-typed argument to its callee (which then owns the polling
+// obligation).  When declOf is non-nil, calls into the same package only
+// count for callees not declared locally; local callees are handled by
+// the polls fixpoint so that handing a context to a non-polling local
+// function does not satisfy the check.
+func argPoll(info *types.Info, n ast.Node, declOf map[types.Object]*ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if declOf != nil {
+			if callee := analysis.CalleeFunc(info, call); callee != nil {
+				if _, local := declOf[callee]; local {
+					return true
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && analysis.IsContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsPolling reports whether the node calls a same-package function in
+// the current polls set.
+func callsPolling(info *types.Info, n ast.Node, declOf map[types.Object]*ast.FuncDecl, polls map[*ast.FuncDecl]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := analysis.CalleeFunc(info, call); callee != nil {
+			if fd, ok := declOf[callee]; ok && polls[fd] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopPolls reports whether the loop satisfies the polling obligation by
+// any accepted means.
+func loopPolls(info *types.Info, loop *ast.ForStmt, declOf map[types.Object]*ast.FuncDecl, polls map[*ast.FuncDecl]bool) bool {
+	return directPoll(info, loop) ||
+		argPoll(info, loop, declOf) ||
+		callsPolling(info, loop, declOf, polls)
+}
+
+// hasNonBuiltinCall reports whether the loop performs any real call; a
+// call-free loop is pure arithmetic and exempt.
+func hasNonBuiltinCall(info *types.Info, loop *ast.ForStmt) bool {
+	return bodyHasNonBuiltinCall(info, loop)
+}
+
+func bodyHasNonBuiltinCall(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+				return true
+			}
+		}
+		// Type conversions are not calls either.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,117 @@
+// Package exact models a solver package for the ctxpoll corpus: its
+// import path ends in internal/exact, which puts it under the anytime
+// contract the analyzer enforces.
+package exact
+
+import "context"
+
+// step is opaque work: a non-builtin call that keeps loops from being
+// exempt as pure arithmetic.
+func step(i int) int {
+	return i + 1
+}
+
+// Oracle is an external dependency taking the context; its methods are
+// not package functions, so handing it the context discharges the
+// obligation to the callee.
+type Oracle interface {
+	Eval(ctx context.Context, v int) int
+}
+
+// SolvePolled polls directly somewhere in its body, so the whole
+// function passes wherever the poll sits in the loop nest.
+func SolvePolled(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total = step(total)
+	}
+	return total
+}
+
+// SolveSilent receives a context, never polls it, and spins on real
+// work: both the loop and the entry point are flagged.
+func SolveSilent(ctx context.Context, n int) int { // want `exported function SolveSilent receives a context but neither polls it nor passes it on`
+	total := 0
+	for i := 0; i < n; i++ { // want `unbounded loop in context-bearing function SolveSilent never polls the context`
+		total = step(total)
+	}
+	return total
+}
+
+// SolveDelegated hands the context to a polling local helper each
+// iteration: the fixpoint sees the delegation and the function passes.
+func SolveDelegated(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = polled(ctx, total)
+	}
+	return total
+}
+
+// polled owns the poll.
+func polled(ctx context.Context, v int) int {
+	if ctx.Err() != nil {
+		return v
+	}
+	return step(v)
+}
+
+// SolveLaundered hands the context to a local helper that drops it:
+// passing ctx onward discharges nothing unless the callee polls.
+func SolveLaundered(ctx context.Context, n int) int { // want `exported function SolveLaundered receives a context but neither polls it nor passes it on`
+	total := 0
+	for i := 0; i < n; i++ { // want `unbounded loop in context-bearing function SolveLaundered never polls the context`
+		total = ignores(ctx, total)
+	}
+	return total
+}
+
+// ignores takes a context and drops it on the floor.
+func ignores(_ context.Context, v int) int {
+	return step(v)
+}
+
+// SolveForwarded forwards the context to the external oracle on every
+// iteration; the callee owns the polling obligation, so this passes.
+func SolveForwarded(ctx context.Context, o Oracle, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = o.Eval(ctx, total)
+	}
+	return total
+}
+
+// solveBounded's loop is annotated: its trip count is small by
+// construction, so it needs no poll.
+func solveBounded(ctx context.Context) int {
+	total := 0
+	//rt:bounded — exactly three refinement rounds
+	for i := 0; i < 3; i++ {
+		total = step(total)
+	}
+	return total
+}
+
+// SolveArithmetic's loop performs no calls, so it is exempt as pure
+// arithmetic; the entry point still discharges its obligation by
+// delegating to polled at the end.
+func SolveArithmetic(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i * i
+	}
+	return polled(ctx, total)
+}
+
+// SolveRanged iterates a slice: range loops are bounded by their operand
+// and exempt, and the entry point delegates to polled per element.
+func SolveRanged(ctx context.Context, vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += polled(ctx, v)
+	}
+	return total
+}

@@ -1,0 +1,235 @@
+// Package detrange implements the rtlint analyzer that forbids unordered
+// map iteration in byte-deterministic output paths.
+//
+// The repo's canonical hash (core.AppendCanonical), the solver wire forms,
+// and rtserve's listing endpoints all promise byte-identical output for
+// equal input; a `for k := range m` anywhere on those paths silently
+// breaks that promise in a way runtime tests only catch probabilistically.
+// The analyzer computes, per package, the set of functions reachable from
+// the deterministic roots (a builtin table plus every function annotated
+// //rt:deterministic) through intra-package calls, and flags every
+// map-range statement in that set that is not one of the two provably
+// order-insensitive shapes:
+//
+//   - collect-then-sort: every statement in the loop body appends to a
+//     slice, and a sort.* call on one of those slices follows the loop in
+//     the same block;
+//   - map-to-map copy: every statement in the loop body assigns into a
+//     map index expression, so the result is itself order-insensitive.
+//
+// A loop that is order-insensitive for a reason the analyzer cannot see
+// can be waived with an //rt:unordered comment on the loop's line or the
+// line above it.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "forbid unordered map iteration in deterministic-output paths\n\n" +
+		"Functions reachable from core.AppendCanonical, the wire encoders,\n" +
+		"the /v1/stats and /v1/solvers handlers, or any //rt:deterministic\n" +
+		"function must not iterate maps in unordered ways.",
+	Run: run,
+}
+
+// roots names the builtin deterministic-output entry points per package
+// (import paths normalized, so test variants inherit their package's
+// roots).  Annotating a function //rt:deterministic adds it to this set.
+var roots = map[string][]string{
+	"repro/internal/core":    {"AppendCanonical", "CanonicalHash"},
+	"repro/internal/solver":  {"CacheKey", "ResultCacheKey", "Wire", "Infos"},
+	"repro/internal/service": {"handleStats", "handleSolvers"},
+
+	// Golden-test twin of the core entry, so the builtin-root mechanism
+	// itself has analysistest coverage.
+	"rtlinttest/detrange": {"AppendCanonical"},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := analysis.FuncDecls(pass.Files)
+	if len(decls) == 0 {
+		return nil, nil
+	}
+
+	// Identify the root declarations in this package.
+	rootNames := make(map[string]bool)
+	for _, name := range roots[pass.PkgPath()] {
+		rootNames[name] = true
+	}
+	declOf := make(map[types.Object]*ast.FuncDecl, len(decls))
+	for _, fd := range decls {
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			declOf[obj] = fd
+		}
+	}
+
+	// Breadth-first reachability from the roots over intra-package calls.
+	reachable := make(map[*ast.FuncDecl]bool)
+	var queue []*ast.FuncDecl
+	push := func(fd *ast.FuncDecl) {
+		if !reachable[fd] {
+			reachable[fd] = true
+			queue = append(queue, fd)
+		}
+	}
+	for _, fd := range decls {
+		if rootNames[fd.Name.Name] || analysis.FuncAnnotated(fd, "//rt:deterministic") {
+			push(fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+				if target, ok := declOf[callee]; ok {
+					push(target)
+				}
+			}
+			return true
+		})
+	}
+
+	for fd := range reachable {
+		file := pass.FileOf(fd.Pos())
+		checkFunc(pass, file, fd)
+	}
+	return nil, nil
+}
+
+// checkFunc flags unordered map ranges in one reachable function.  It
+// walks statement lists (not bare statements) so that the collect-then-sort
+// shape can look at the statements following a loop.
+func checkFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			rs, ok := stmt.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			tv := pass.TypesInfo.Types[rs.X]
+			if !analysis.IsMapType(tv.Type) {
+				continue
+			}
+			if analysis.NodeAnnotated(pass.Fset, file, rs, "//rt:unordered") {
+				continue
+			}
+			if isMapCopy(pass.TypesInfo, rs.Body) {
+				continue
+			}
+			if isCollectThenSort(pass.TypesInfo, rs.Body, list[i+1:]) {
+				continue
+			}
+			pass.Reportf(rs.For, "unordered map iteration in deterministic-output function "+
+				fd.Name.Name+"; sort the keys, use an order-insensitive shape, or annotate //rt:unordered")
+		}
+		return true
+	})
+}
+
+// isMapCopy reports whether every statement in the loop body assigns only
+// into map index expressions: the loop's net effect is itself a map, so
+// iteration order cannot leak.
+func isMapCopy(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || !analysis.IsMapType(info.Types[ix.X].Type) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isCollectThenSort reports whether the loop body only appends to slices
+// and a sort call on one of those slices follows the loop in the same
+// statement list.
+func isCollectThenSort(info *types.Info, body *ast.BlockStmt, rest []ast.Stmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	targets := make(map[types.Object]bool)
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		if obj := info.ObjectOf(id); obj != nil {
+			targets[obj] = true
+		}
+	}
+	for _, stmt := range rest {
+		call := callOf(stmt)
+		if call == nil {
+			continue
+		}
+		callee := analysis.CalleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sort" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && targets[info.ObjectOf(id)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callOf extracts the call of an expression or single-assign statement,
+// so sort.Slice(out, ...) is found whether or not its result is used.
+func callOf(stmt ast.Stmt) *ast.CallExpr {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ := ast.Unparen(s.X).(*ast.CallExpr)
+		return call
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			call, _ := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			return call
+		}
+	}
+	return nil
+}

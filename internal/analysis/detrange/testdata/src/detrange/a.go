@@ -1,0 +1,84 @@
+// Package detrange is the golden corpus for the detrange analyzer.  Its
+// AppendCanonical mirrors the production root of the same name (the
+// analyzer's roots table lists rtlinttest/detrange so the builtin-root
+// mechanism itself is under test).
+package detrange
+
+import "sort"
+
+// AppendCanonical is a builtin deterministic root: every map range
+// reachable from it is in scope.
+func AppendCanonical(dst []byte, m map[string]int) []byte {
+	for k := range m { // want `unordered map iteration in deterministic-output function AppendCanonical`
+		dst = append(dst, k...)
+	}
+	dst = helper(dst, m)
+	dst = sortedKeys(dst, m)
+	flat := mapCopy(m)
+	return append(dst, byte(waived(flat)))
+}
+
+// helper is reachable from the root through an intra-package call, so its
+// loops are in scope too.
+func helper(dst []byte, m map[string]int) []byte {
+	for k := range m { // want `unordered map iteration in deterministic-output function helper`
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// sortedKeys collects the keys and sorts before emitting: the canonical
+// order-insensitive shape, which must pass.
+func sortedKeys(dst []byte, m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// mapCopy's loop lands every element in another map, so iteration order
+// cannot leak; it must pass.
+func mapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// waived demonstrates the //rt:unordered waiver on an order-insensitive
+// accumulation.
+func waived(m map[string]int) int {
+	n := 0
+	//rt:unordered — summation is commutative
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Annotated is a root by annotation rather than by the builtin table.
+//
+//rt:deterministic
+func Annotated(m map[string]int) string {
+	out := ""
+	for k := range m { // want `unordered map iteration in deterministic-output function Annotated`
+		out += k
+	}
+	return out
+}
+
+// unreachable is reachable from no root: its unordered range is out of
+// scope and must pass.
+func unreachable(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

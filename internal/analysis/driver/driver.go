@@ -1,0 +1,236 @@
+// Package driver runs analyzers over type-checked packages.  It speaks
+// two protocols with the Go build system:
+//
+//   - Standalone: List loads packages and their dependencies' export data
+//     through `go list -export -deps -json`, type-checks the target
+//     packages from source, and Run applies analyzers to each.  This is
+//     what `rtlint ./...` does.
+//
+//   - Unitchecker: Vet implements the `go vet -vettool` contract, in
+//     which the go command invokes the tool once per package with a
+//     vet.cfg manifest (see unitchecker.go).  This mode also covers test
+//     files, because the go command feeds the tool every compilation
+//     unit, test variants included.
+//
+// Both modes resolve imports from compiler export data (via
+// importer.ForCompiler), never from source, so analysis of a package
+// costs one parse + typecheck of that package alone.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// A Unit is one type-checked package ready for analysis.
+type Unit struct {
+	Path  string // import path as reported by the build system
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Finding is one diagnostic, tagged with the analyzer that produced it
+// and resolved to a printable position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (rtlint/%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// Check parses and type-checks one package from source, resolving imports
+// through imp.  goVersion may be empty, "1.22" or "go1.22".
+func Check(fset *token.FileSet, path string, filenames []string, src map[string][]byte, imp types.Importer, goVersion string) (*Unit, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		var f *ast.File
+		var err error
+		if b, ok := src[name]; ok {
+			f, err = parser.ParseFile(fset, name, b, parser.ParseComments|parser.SkipObjectResolution)
+		} else {
+			f, err = parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		}
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if goVersion != "" && !strings.HasPrefix(goVersion, "go") {
+		goVersion = "go" + goVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Run applies each analyzer to the unit and returns the findings sorted
+// by position.
+func Run(u *Unit, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Posn:     u.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to export-data readers using the
+// Export files reported by `go list` plus the merged ImportMap of every
+// listed package (identity outside the map).
+type exportLookup struct {
+	exports   map[string]string // canonical import path -> export file
+	importMap map[string]string // source import path -> canonical path
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := l.importMap[path]; ok {
+		path = mapped
+	}
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// List loads the packages matching patterns (plus their dependency export
+// data) via the go command and type-checks each non-dependency package
+// from source.  Packages with no Go files are skipped.
+func List(dir string, patterns []string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,Export,GoFiles,ImportMap,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	look := &exportLookup{
+		exports:   make(map[string]string, len(pkgs)),
+		importMap: make(map[string]string),
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			look.exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			look.importMap[from] = to
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", look.lookup)
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = p.Dir + string(os.PathSeparator) + f
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = p.Module.GoVersion
+		}
+		u, err := Check(fset, p.ImportPath, files, nil, imp, goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

@@ -1,0 +1,248 @@
+package driver
+
+// This file implements the tool side of the `go vet -vettool` contract,
+// the same protocol x/tools' unitchecker speaks.  The go command drives
+// the tool in three ways:
+//
+//	tool -flags            print a JSON description of the tool's flags
+//	                       on stdout (the go command always does this
+//	                       first, to validate command-line flags)
+//	tool -V=full           print a version line usable as a build-cache
+//	                       key: the second field must be "version" and
+//	                       the third must not be "devel"
+//	tool [flags] vet.cfg   analyze one compilation unit described by the
+//	                       JSON config; print diagnostics to stderr as
+//	                       file:line:col: message and exit 1 on findings
+//
+// The config's ImportMap/PackageFile tables resolve imports to compiler
+// export data, VetxOnly marks dependency-only runs (facts propagation,
+// which this suite does not use), and SucceedOnTypecheckFailure mirrors
+// the compiler reporting the type error instead of vet.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg.
+// Field names must match cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/rtlint: it dispatches between the
+// vettool protocol (-flags, -V=full, a *.cfg argument) and the standalone
+// package-pattern mode, and returns the process exit code.
+func Main(args []string, analyzers []*analysis.Analyzer) int {
+	// The -V=full probe comes first and bare: answer before flag parsing.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Println(versionLine())
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagDefs(analyzers)
+		return 0
+	}
+
+	fs := flag.NewFlagSet("rtlint", flag.ContinueOnError)
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = fs.Bool(a.Name, false, summary)
+	}
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: rtlint [-analyzer]... [package pattern... | vet.cfg]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// An explicit -<analyzer> selection narrows the suite (go vet's
+	// convention: naming any check disables the unnamed ones).
+	run := analyzers
+	var narrowed []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			narrowed = append(narrowed, a)
+		}
+	}
+	if narrowed != nil {
+		run = narrowed
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], run)
+	}
+	return standalone(rest, run, *jsonOut)
+}
+
+// versionLine is the -V=full answer.  The whole line becomes part of the
+// go command's action cache key, so it embeds a content hash of the
+// executable: rebuilding rtlint invalidates cached vet results.
+func versionLine() string {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("rtlint version rtlint-1.0.0-%s", id)
+}
+
+// printFlagDefs answers the -flags probe: a JSON array describing every
+// flag the tool accepts, so the go command can validate and forward them.
+func printFlagDefs(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: summary})
+	}
+	data, _ := json.Marshal(defs)
+	fmt.Printf("%s\n", data)
+}
+
+// vetUnit analyzes the single compilation unit described by cfgFile.
+func vetUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rtlint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// This suite computes no cross-package facts, so the vetx output is an
+	// empty placeholder; writing it keeps the go command's caching happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	look := &exportLookup{exports: cfg.PackageFile, importMap: cfg.ImportMap}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, look.lookup)
+
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) && cfg.Dir != "" {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	u, err := Check(fset, cfg.ImportPath, files, nil, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compile step will report the error; vet stays quiet.
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+
+	findings, err := Run(u, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// standalone loads package patterns through the go command and analyzes
+// each target package.  No patterns means "./...".
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := List("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var all []Finding
+	for _, u := range units {
+		findings, err := Run(u, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, findings...)
+	}
+	if jsonOut {
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, len(all))
+		for i, f := range all {
+			out[i] = jsonFinding{Analyzer: f.Analyzer, Position: f.Posn.String(), Message: f.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}

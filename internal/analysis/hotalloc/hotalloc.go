@@ -1,0 +1,245 @@
+// Package hotalloc implements the rtlint analyzer that keeps
+// //rt:hotpath functions free of allocating constructs.
+//
+// The bench gate (cmd/benchdiff's allocs/op threshold) catches hot-path
+// allocation regressions only for code a benchmark happens to drive;
+// hotalloc is its static complement.  A function whose doc comment
+// carries //rt:hotpath promises steady-state zero allocations, and the
+// analyzer flags every construct that breaks that promise:
+//
+//   - calls into package fmt (Sprintf and friends always allocate);
+//   - make and new, of any size (sized or not, they allocate);
+//   - append whose destination is neither a struct field nor a function
+//     parameter: appending to a reused field or caller-provided buffer
+//     amortizes to zero, appending to a fresh local cannot;
+//   - slice and map composite literals, and any address-taken composite
+//     literal (value struct literals are register-friendly and allowed);
+//   - function literals (closures capture their environment on the heap);
+//   - implicit interface boxing: passing a concrete value to an
+//     interface-typed parameter, or converting one to an interface type;
+//   - string/[]byte conversions (each copies).
+//
+// Deliberate exemptions: panic arguments (a panicking hot path is
+// already off the hot path) and errors.New (terminal error construction
+// on the failure return is not steady-state allocation).  Anything else
+// intentional is waived line-by-line with //rt:allow-alloc on the
+// construct's line or the line above it.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "//rt:hotpath functions must not contain allocating constructs\n\n" +
+		"The static complement of the allocs/op benchmark gate: hot paths\n" +
+		"promise steady-state zero allocations.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		if !analysis.FuncAnnotated(fd, "//rt:hotpath") {
+			continue
+		}
+		file := pass.FileOf(fd.Pos())
+		params := paramObjects(pass.TypesInfo, fd)
+		check(pass, file, fd, params)
+	}
+	return nil, nil
+}
+
+// paramObjects collects the objects of fd's parameters (including the
+// receiver): append destinations among them are caller-reused buffers.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+func check(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, params map[types.Object]bool) {
+	info := pass.TypesInfo
+	waived := func(n ast.Node) bool {
+		return analysis.NodeAnnotated(pass.Fset, file, n, "//rt:allow-alloc")
+	}
+	report := func(n ast.Node, msg string) {
+		if !waived(n) {
+			pass.Reportf(n.Pos(), msg+" in //rt:hotpath function "+fd.Name.Name+
+				"; hoist it, reuse a buffer, or annotate //rt:allow-alloc")
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure literal allocates")
+			return false // its body is not the annotated hot path
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "address-taken composite literal allocates")
+					return false
+				}
+			}
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "slice or map literal allocates")
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, info, n, params, report)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, params map[types.Object]bool, report func(ast.Node, string)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				report(call, "make allocates")
+			case "new":
+				report(call, "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !reusedDestination(info, call.Args[0], params) {
+					report(call, "append to a non-reused destination allocates")
+				}
+			case "panic":
+				// Exempt: a panicking hot path is already broken.
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := info.Types[call.Args[0]].Type
+			if isInterface(to) && from != nil && !isInterface(from) {
+				report(call, "conversion to interface boxes its operand")
+			}
+			if stringBytes(to, from) {
+				report(call, "string/[]byte conversion copies")
+			}
+		}
+		return
+	}
+
+	callee := analysis.CalleeFunc(info, call)
+	if callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt":
+			report(call, "fmt call allocates")
+			return
+		case "errors":
+			if callee.Name() == "New" {
+				return // terminal error construction is exempt
+			}
+		}
+	}
+
+	// Implicit interface boxing at the call boundary.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				break // x... passes the slice through, no boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		at := info.Types[arg].Type
+		if pt != nil && isInterface(pt) && at != nil && !isInterface(at) {
+			report(call, "argument boxed into interface parameter")
+			return
+		}
+	}
+}
+
+// reusedDestination reports whether an append destination is a struct
+// field or a parameter: both are buffers that amortize to zero
+// allocations across calls.
+func reusedDestination(info *types.Info, dst ast.Expr, params map[types.Object]bool) bool {
+	switch e := ast.Unparen(dst).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil && params[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func stringBytes(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,80 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer: one
+// annotated function exhibiting every flagged construct, one annotated
+// function built entirely from the amortized and exempt shapes, and
+// unannotated code the analyzer must ignore.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// buffer is a reusable worker whose fields amortize allocations away.
+type buffer struct {
+	dst   []byte
+	vals  []int
+	parts [][]byte
+}
+
+// result is a small value struct: constructing one allocates nothing.
+type result struct {
+	n, m int
+}
+
+// bad exhibits every allocating construct the analyzer flags.
+//
+//rt:hotpath — corpus: everything below must be diagnosed.
+func (b *buffer) bad(n int, sink func(any)) int {
+	s := fmt.Sprintf("hot %d", n) // want `fmt call allocates`
+	local := make([]int, 0, n)    // want `make allocates`
+	local = append(local, n)      // want `append to a non-reused destination allocates`
+	p := new(int)                 // want `new allocates`
+	f := func() int { return n }  // want `closure literal allocates`
+	r := &result{n: n}            // want `address-taken composite literal allocates`
+	pairs := map[int]int{n: n}    // want `slice or map literal allocates`
+	raw := []byte(s)              // want `string/\[\]byte conversion copies`
+	boxed := any(n)               // want `conversion to interface boxes its operand`
+	sink(n)                       // want `argument boxed into interface parameter`
+	_ = boxed
+	return len(s) + len(local) + *p + f() + r.n + len(pairs) + len(raw)
+}
+
+// good is built entirely from shapes the analyzer accepts: field and
+// parameter append destinations, panic, terminal errors.New, value
+// struct literals, variadic slice passthrough, and one waived make.
+//
+//rt:hotpath — corpus: nothing below may be diagnosed.
+func (b *buffer) good(dst []byte, n int) ([]byte, error) {
+	b.vals = append(b.vals, n)
+	dst = append(dst, byte(n))
+	if n < 0 {
+		panic("negative n")
+	}
+	if n > 1<<20 {
+		return nil, errors.New("n out of range")
+	}
+	r := result{n: n, m: n}
+	//rt:allow-alloc — one deliberate allocation, waived with a reason.
+	scratch := make([]int, n)
+	b.vals = append(b.vals, scratch...)
+	dst = join(dst, b.parts...)
+	return dst, check(r)
+}
+
+// join is variadic; hot callers pass the slice through with ... so no
+// boxing or re-slicing happens at the boundary.
+func join(dst []byte, parts ...[]byte) []byte {
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// check is not annotated: its allocations are none of hotalloc's
+// business.
+func check(r result) error {
+	if r.n != r.m {
+		return fmt.Errorf("mismatch %d != %d", r.n, r.m)
+	}
+	return nil
+}

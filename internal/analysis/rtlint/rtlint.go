@@ -1,0 +1,25 @@
+// Package rtlint aggregates the repo's analyzers into the suite that
+// cmd/rtlint runs.  The set is ordered for stable output and exercised
+// end-to-end by CI both standalone (rtlint ./...) and through the go
+// command (go vet -vettool).
+package rtlint
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/cachekey"
+	"repro/internal/analysis/compiledimmut"
+	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/hotalloc"
+)
+
+// Suite returns the full analyzer suite in diagnostic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cachekey.Analyzer,
+		compiledimmut.Analyzer,
+		ctxpoll.Analyzer,
+		detrange.Analyzer,
+		hotalloc.Analyzer,
+	}
+}

@@ -241,6 +241,8 @@ func newWorker(sh *shared) *worker {
 // and returns the sink's time (the makespan).  It is the allocation-free
 // twin of dag.Graph.Makespan, sweeping the compiled CSR adjacency in the
 // shared topological order.
+//
+//rt:hotpath — runs up to three times per search node.
 func (w *worker) makespan(d []int64) int64 {
 	c := w.sh.c
 	for i := range w.et {
@@ -261,6 +263,8 @@ func (w *worker) makespan(d []int64) int64 {
 // candidates walks one critical path back from the sink (w.et must hold
 // the event times of d) and collects, in source-to-sink order, the arcs on
 // it that are neither frozen nor at their last breakpoint.
+//
+//rt:hotpath — per-node; appends reuse w.path and w.cand.
 func (w *worker) candidates(d []int64) []int {
 	c := w.sh.c
 	w.path = w.path[:0]
@@ -295,6 +299,8 @@ func (w *worker) candidates(d []int64) []int {
 // and returns the path-repair branching candidates.  ok=false means the
 // subtree is closed (pruned, solved, or the search is stopping).  The
 // returned slice aliases w.cand and is invalidated by the next visit.
+//
+//rt:hotpath — the per-node body of the branch-and-bound.
 func (w *worker) visit() (candidates []int, ok bool) {
 	sh := w.sh
 	if sh.done.Load() || sh.stopped.Load() {

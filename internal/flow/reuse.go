@@ -64,6 +64,8 @@ func NewMinFlowSolver(g *dag.Graph, s, t int) *MinFlowSolver {
 // network.  The returned Result's EdgeFlow slice is owned by the solver
 // and is only valid until the next Solve call; callers that keep a result
 // must copy it.
+//
+//rt:hotpath — once per branch-and-bound node; everything reuses the transformed network built by NewMinFlowSolver.
 func (ms *MinFlowSolver) Solve(lower []int64) (Result, error) {
 	m := ms.g.NumEdges()
 	if len(lower) != m {

@@ -274,6 +274,8 @@ type simplex struct {
 
 // run minimizes obj over the current tableau.  maxIter < 0 uses the default
 // bound.  It returns the objective value.
+//
+//rt:hotpath — the simplex pivot loop over the pooled arena tableau.
 func (s *simplex) run(obj []float64, maxIter int) (float64, error) {
 	m, nCols := len(s.tab), s.nCols
 	if maxIter < 0 {
@@ -317,6 +319,8 @@ func (s *simplex) run(obj []float64, maxIter int) (float64, error) {
 
 // z is maintained by run/pivot as the current reduced-cost row.
 // (Stored on the struct so pivot can update it.)
+//
+//rt:hotpath
 func (s *simplex) chooseEntering(bland bool) int {
 	limit := s.nCols
 	if s.forbidden > 0 {
@@ -339,6 +343,7 @@ func (s *simplex) chooseEntering(bland bool) int {
 	return best
 }
 
+//rt:hotpath
 func (s *simplex) chooseLeaving(col int) int {
 	nCols := s.nCols
 	best := -1
@@ -357,6 +362,7 @@ func (s *simplex) chooseLeaving(col int) int {
 	return best
 }
 
+//rt:hotpath
 func (s *simplex) pivot(rowi, col int) {
 	nCols := s.nCols
 	prow := s.tab[rowi]

@@ -167,6 +167,8 @@ func NewSolverCompiled(c *core.Compiled) *Solver {
 // envelope evaluates the convex-envelope duration of arc e at flow x and
 // reports the slope of the containing segment (the subgradient); see
 // core.Envelopes.Eval.
+//
+//rt:hotpath — called per arc per makespan sweep.
 func (s *Solver) envelope(e int, x float64) (dur, grad float64) {
 	return s.env.Eval(e, x)
 }
@@ -174,6 +176,8 @@ func (s *Solver) envelope(e int, x float64) (dur, grad float64) {
 // makespan computes the longest-path value under envelope durations of fx,
 // optionally recording the predecessor arc per node for critical-path
 // backtracking.  It sweeps the compiled CSR adjacency in topological order.
+//
+//rt:hotpath — once per Frank-Wolfe iteration and line-search probe.
 func (s *Solver) makespan(fx []float64, track bool) float64 {
 	c := s.c
 	for i := range s.tval {
@@ -203,6 +207,8 @@ func (s *Solver) makespan(fx []float64, track bool) float64 {
 
 // criticalPath appends the arcs of one critical path (sink to source) to
 // pathBuf, using the predecessors recorded by makespan(track=true).
+//
+//rt:hotpath — per-iteration; the append reuses s.pathBuf.
 func (s *Solver) criticalPath() []int32 {
 	s.pathBuf = s.pathBuf[:0]
 	c := s.c
@@ -227,6 +233,8 @@ func (s *Solver) criticalPath() []int32 {
 // costs >= 0.  Costs are non-positive here, so the sweep needs no
 // negative-cycle care (the graph is a DAG).  It returns the best path cost
 // c* (<= 0); the chosen path is left in oraArc predecessors.
+//
+//rt:hotpath — the per-iteration linear-minimization oracle.
 func (s *Solver) oracle(cost []float64) float64 {
 	c := s.c
 	for i := range s.dist {

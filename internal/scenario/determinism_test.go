@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestValidateErrorByteStable pins Validate's error for a spec with
+// several unknown parameters: the parameters are checked in sorted
+// order, so the same bad spec must report the same first offender on
+// every run.  Before the sort, the offender came out of map iteration
+// order and this test failed probabilistically.
+func TestValidateErrorByteStable(t *testing.T) {
+	fams := Families()
+	if len(fams) == 0 {
+		t.Fatal("no registered families")
+	}
+	family := fams[0].Name
+	budget := int64(1)
+	spec := Spec{
+		Name:   "bad",
+		Family: family,
+		Budget: &budget,
+		Params: map[string]int64{
+			"zz-bogus": 1,
+			"mm-bogus": 1,
+			"aa-bogus": 1,
+		},
+	}
+	want := fmt.Sprintf("scenario: family %q has no parameter %q", family, "aa-bogus")
+	for i := 0; i < 100; i++ {
+		err := spec.Validate()
+		if err == nil {
+			t.Fatal("Validate accepted a spec with bogus parameters")
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d: error %q, want %q", i, err.Error(), want)
+		}
+	}
+}

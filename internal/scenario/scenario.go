@@ -100,7 +100,11 @@ func Lookup(name string) (Family, bool) {
 }
 
 // Validate checks the spec names a known family, uses only recognized
-// parameters, and sets exactly one objective.
+// parameters, and sets exactly one objective.  The error for an invalid
+// spec is deterministic: parameters are checked in sorted order, so two
+// runs over the same bad spec report the same first offender.
+//
+//rt:deterministic
 func (s Spec) Validate() error {
 	f, ok := families[s.Family]
 	if !ok {
@@ -110,11 +114,16 @@ func (s Spec) Validate() error {
 		}
 		return fmt.Errorf("scenario: unknown family %q (have %v)", s.Family, names)
 	}
-	for name, v := range s.Params {
+	params := make([]string, 0, len(s.Params))
+	for name := range s.Params {
+		params = append(params, name)
+	}
+	sort.Strings(params)
+	for _, name := range params {
 		if _, ok := f.Defaults[name]; !ok {
 			return fmt.Errorf("scenario: family %q has no parameter %q", s.Family, name)
 		}
-		if v <= 0 {
+		if v := s.Params[name]; v <= 0 {
 			return fmt.Errorf("scenario: parameter %q = %d must be positive", name, v)
 		}
 	}
@@ -143,6 +152,8 @@ func (s Spec) Build() (*core.Instance, error) {
 // makespan floor and useful budget, so a frozen objective would go
 // unreachable (targets) or trivial (budgets).  Non-size parameters are
 // preserved; the name records the factor.
+//
+//rt:deterministic — the scaled spec feeds Build and the corpus goldens; the map-to-map parameter copy below is order-insensitive by shape.
 func (s Spec) Scale(factor int64) Spec {
 	if factor <= 1 {
 		return s

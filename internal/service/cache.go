@@ -126,6 +126,8 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (solver
 // they neither lead a flight whose (possibly truncated) outcome other
 // requests would share, nor inherit a truncation shaped by someone else's
 // deadline.
+//
+//rt:hotpath — the result-cache lookup on every deadline-bounded request.
 func (c *resultCache) get(key string) (solver.WireReport, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -91,6 +91,8 @@ func newCompiledCache(capacity int) *compiledCache {
 // exact bytes were compiled before.  The returned rawKey is the SHA-256 of
 // raw either way; on a miss the caller passes it back to add, so each
 // request body is hashed exactly once.
+//
+//rt:hotpath — first touch of every solve request; on a hot instance the whole compile pipeline collapses into this lookup.
 func (cc *compiledCache) get(raw []byte) (c *core.Compiled, rawKey [sha256.Size]byte, ok bool) {
 	if cc.capacity <= 0 {
 		// Disabled cache: a hit is impossible (add never populates byRaw),

@@ -8,6 +8,7 @@ package solver
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -71,16 +72,47 @@ func (w WireOptions) Resolve(now time.Time) (Options, error) {
 	return o, nil
 }
 
+// cacheKeyExcluded lists the Options fields deliberately absent from
+// CacheKey, with the reason each cannot affect a cacheable result.  The
+// cachekey analyzer (and its runtime twin TestCacheKeyCoversOptions)
+// enforces that every field is rendered by CacheKey or listed here, so a
+// future option can never silently poison the result cache.
+var cacheKeyExcluded = map[string]string{
+	"Deadline":  "selects whether a result arrives in time, never what it is; interrupted results are not cached",
+	"spTree":    "routing hint derived from the instance, already keyed by the instance hash",
+	"spLeafArc": "routing hint derived from the instance, already keyed by the instance hash",
+	"raceRival": "auto-router internals; the raced result is keyed under the winning solver's own name",
+}
+
 // CacheKey renders the result-relevant options canonically, for use in
-// result-cache keys alongside the instance hash and solver name.  The
-// deadline is deliberately excluded: it determines whether a result
-// arrives in time, never what the result is, and interrupted (incomplete)
-// results are not cacheable in the first place.  Parallelism IS included:
+// result-cache keys alongside the instance hash and solver name.  Fields
+// left out are justified in cacheKeyExcluded.  Parallelism IS included:
 // the optimum value is parallelism-independent, but the witness flow of a
 // parallel search need not be, and a cache must return byte-identical
 // reports.
 func (o Options) CacheKey() string {
-	return fmt.Sprintf("b%d.t%d.a%g.n%d.p%d", o.Budget, o.Target, o.Alpha, o.MaxNodes, o.Parallelism)
+	var buf [64]byte
+	return string(o.appendCacheKey(buf[:0]))
+}
+
+// appendCacheKey renders the key into dst.  The format is the historical
+// fmt.Sprintf("b%d.t%d.a%g.n%d.p%d", ...) rendering byte for byte
+// (strconv's 'g'/-1 float formatting is what %g uses), kept stable so
+// persisted caches survive this function's allocation-free rewrite.
+//
+//rt:hotpath — runs per service request on the result-cache lookup path.
+func (o Options) appendCacheKey(dst []byte) []byte {
+	dst = append(dst, 'b')
+	dst = strconv.AppendInt(dst, o.Budget, 10)
+	dst = append(dst, ".t"...)
+	dst = strconv.AppendInt(dst, o.Target, 10)
+	dst = append(dst, ".a"...)
+	dst = strconv.AppendFloat(dst, o.Alpha, 'g', -1, 64)
+	dst = append(dst, ".n"...)
+	dst = strconv.AppendInt(dst, int64(o.MaxNodes), 10)
+	dst = append(dst, ".p"...)
+	dst = strconv.AppendInt(dst, int64(o.Parallelism), 10)
+	return dst
 }
 
 // ResultCacheKey is the full identity of one solve outcome: the solver

@@ -27,6 +27,8 @@ func Recognize(inst *core.Instance) (*Tree, bool) {
 // changed.  (The previous implementation rescanned every arc and rebuilt
 // its degree maps per reduction, which was quadratic and forced callers to
 // gate recognition behind arc-count limits.)
+//
+//rt:deterministic — the tree is memoized on core.Compiled and shared; its shape must not depend on map iteration order.
 func RecognizeMap(inst *core.Instance) (*Tree, map[*Tree]int, bool) {
 	m := inst.G.NumEdges()
 	type arc struct {
@@ -101,8 +103,14 @@ func RecognizeMap(inst *core.Instance) (*Tree, map[*Tree]int, bool) {
 			pendingNodes = append(pendingNodes, v)
 		}
 	}
-	for p := range pairArcs {
-		pushPair(p)
+	// Seed the pair worklist in arc order, not map order: the order pairs
+	// are examined shapes the decomposition tree (Parallel/Series nesting),
+	// and the memoized tree must come out identical on every run so that
+	// downstream DP witnesses - and anything cached from them - are
+	// byte-stable.  pushPair de-duplicates, so arcs sharing a pair cost
+	// nothing extra.
+	for e := 0; e < m; e++ {
+		pushPair(pair{arcs[e].from, arcs[e].to})
 	}
 	for v := 0; v < inst.G.NumNodes(); v++ {
 		pushNode(v)
@@ -152,10 +160,14 @@ func RecognizeMap(inst *core.Instance) (*Tree, map[*Tree]int, bool) {
 		if len(in[v]) != 1 || len(out[v]) != 1 {
 			continue
 		}
+		// len(in[v]) == 1 and len(out[v]) == 1 were just checked: a
+		// single-member map has exactly one iteration, so no order exists.
 		var i, j int
+		//rt:unordered — singleton map, see above
 		for e := range in[v] {
 			i = e
 		}
+		//rt:unordered — singleton map, see above
 		for e := range out[v] {
 			j = e
 		}

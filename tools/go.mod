@@ -1,0 +1,17 @@
+// Module tools pins the versions of the development tools CI installs
+// (staticcheck, govulncheck).  It is a nested module so these
+// dependencies never leak into the root module, which is
+// dependency-free by policy.
+//
+// No go.sum is committed: the module is only ever resolved by CI, which
+// runs `go mod tidy` here before `go install` and asserts the pins below
+// survived.  (Generating go.sum requires module-proxy access, which the
+// environments this repo is developed in do not have.)
+module repro/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7
+)

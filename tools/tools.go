@@ -1,0 +1,12 @@
+//go:build tools
+
+// Package tools records the repo's development-tool dependencies so `go
+// mod tidy` keeps their pins in go.mod.  The build tag keeps the
+// imports out of every real build; the blank imports are the standard
+// tools.go idiom.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
