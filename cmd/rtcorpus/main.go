@@ -97,7 +97,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := service.New(service.Config{MaxBodyBytes: 64 << 20})
+	srv, err := service.New(service.Config{MaxBodyBytes: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

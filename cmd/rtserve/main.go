@@ -38,14 +38,26 @@ func main() {
 	cache := flag.Int("cache", 0, "result-cache entries (0: 1024 default, -1: disable)")
 	compiled := flag.Int("compiled", 0, "compiled-instance cache entries; each entry retains a few times its instance's wire size (0: 512 default, -1: disable)")
 	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0: 8 MiB default)")
+	storeDir := flag.String("store", "", "durable solve store directory (empty: in-memory only)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:         *workers,
 		CacheEntries:    *cache,
 		CompiledEntries: *compiled,
 		MaxBodyBytes:    *maxBody,
+		StoreDir:        *storeDir,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if lr, ok := svc.StoreLoad(); ok {
+		log.Printf("store %s: %d reports, %d instances loaded; %d corrupt, %d foreign-version skipped",
+			*storeDir, lr.Reports, lr.Instances, lr.Corrupt, lr.Skipped)
+		for _, e := range lr.Errors {
+			log.Printf("store: skipped entry: %s", e)
+		}
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

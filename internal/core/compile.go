@@ -80,6 +80,9 @@ type Compiled struct {
 	hashOnce sync.Once
 	hash     string
 
+	sketchOnce sync.Once
+	sketch     string
+
 	classOnce sync.Once
 	class     string
 

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// diffDiamond builds s -> {a, b} -> t with the given four duration
+// functions (a second diamond helper lives in hash_test.go with a
+// different shape).
+func diffDiamond(fns ...duration.Func) *Instance {
+	g := dag.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	t := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(a, t)
+	g.AddEdge(s, b)
+	g.AddEdge(b, t)
+	return MustInstance(g, fns)
+}
+
+func TestSketchTopologyOnly(t *testing.T) {
+	a := diffDiamond(duration.Constant(1), duration.Constant(2), duration.Constant(3), duration.Constant(4))
+	b := diffDiamond(duration.Constant(9), duration.MustStep(duration.Tuple{R: 0, T: 8}, duration.Tuple{R: 2, T: 3}), duration.Constant(3), duration.Constant(4))
+	ca, cb := Compile(a), Compile(b)
+	if ca.Sketch() != cb.Sketch() {
+		t.Fatalf("sketch must ignore durations: %s vs %s", ca.Sketch(), cb.Sketch())
+	}
+	if ca.Hash() == cb.Hash() {
+		t.Fatal("canonical hash must see the duration change")
+	}
+	if got := ca.Sketch(); got != ca.Inst.Sketch() {
+		t.Fatalf("compiled sketch %s != instance sketch %s", got, ca.Inst.Sketch())
+	}
+
+	// A different topology (extra arc) must sketch differently.
+	g := dag.New()
+	s := g.AddNode("s")
+	x := g.AddNode("a")
+	y := g.AddNode("b")
+	tt := g.AddNode("t")
+	g.AddEdge(s, x)
+	g.AddEdge(x, tt)
+	g.AddEdge(s, y)
+	g.AddEdge(y, tt)
+	g.AddEdge(s, tt)
+	c := MustInstance(g, []duration.Func{
+		duration.Constant(1), duration.Constant(2), duration.Constant(3), duration.Constant(4), duration.Constant(5),
+	})
+	if Compile(c).Sketch() == ca.Sketch() {
+		t.Fatal("extra arc must change the sketch")
+	}
+}
+
+func TestSketchSensitiveToArcOrder(t *testing.T) {
+	// Same DAG, arcs inserted in a different order: the canonical hash is
+	// order-insensitive by design, the sketch is order-SENSITIVE by design
+	// (flows transfer index-wise only when indices align).
+	mk := func(swap bool) *Instance {
+		g := dag.New()
+		s := g.AddNode("s")
+		a := g.AddNode("a")
+		b := g.AddNode("b")
+		tt := g.AddNode("t")
+		if swap {
+			g.AddEdge(s, b)
+			g.AddEdge(b, tt)
+			g.AddEdge(s, a)
+			g.AddEdge(a, tt)
+			return MustInstance(g, []duration.Func{
+				duration.Constant(3), duration.Constant(4), duration.Constant(1), duration.Constant(2),
+			})
+		}
+		g.AddEdge(s, a)
+		g.AddEdge(a, tt)
+		g.AddEdge(s, b)
+		g.AddEdge(b, tt)
+		return MustInstance(g, []duration.Func{
+			duration.Constant(1), duration.Constant(2), duration.Constant(3), duration.Constant(4),
+		})
+	}
+	ca, cb := Compile(mk(false)), Compile(mk(true))
+	if ca.Hash() != cb.Hash() {
+		t.Fatal("canonical hash must be arc-order insensitive")
+	}
+	if ca.Sketch() == cb.Sketch() {
+		t.Fatal("sketch must be arc-order sensitive")
+	}
+}
+
+func TestDiffTouchedArcs(t *testing.T) {
+	base := diffDiamond(duration.Constant(1), duration.Constant(2), duration.Constant(3), duration.Constant(4))
+	same := diffDiamond(duration.Constant(1), duration.Constant(2), duration.Constant(3), duration.Constant(4))
+	d := Diff(Compile(base), Compile(same))
+	if !d.SameTopology || len(d.TouchedArcs) != 0 || d.TouchedBreakpoints != 0 {
+		t.Fatalf("identical instances: got %+v", d)
+	}
+
+	// One constant changed, one arc reshaped into a two-tuple step.
+	neighbor := diffDiamond(
+		duration.Constant(1),
+		duration.Constant(7),
+		duration.MustStep(duration.Tuple{R: 0, T: 3}, duration.Tuple{R: 2, T: 1}),
+		duration.Constant(4),
+	)
+	d = Diff(Compile(base), Compile(neighbor))
+	if !d.SameTopology {
+		t.Fatal("same topology expected")
+	}
+	if len(d.TouchedArcs) != 2 || d.TouchedArcs[0] != 1 || d.TouchedArcs[1] != 2 {
+		t.Fatalf("touched arcs: got %v, want [1 2]", d.TouchedArcs)
+	}
+	// Arc 1: one tuple differs.  Arc 2: base is [(0,3)], neighbor is
+	// [(0,3),(2,1)] — the shared position agrees, one extra tuple.
+	// Total 1 + 1 = 2.
+	if d.TouchedBreakpoints != 2 {
+		t.Fatalf("touched breakpoints: got %d, want 2", d.TouchedBreakpoints)
+	}
+
+	// Different topology: nothing comparable.
+	g := dag.New()
+	s := g.AddNode("s")
+	tt := g.AddNode("t")
+	g.AddEdge(s, tt)
+	other := MustInstance(g, []duration.Func{duration.Constant(1)})
+	d = Diff(Compile(base), Compile(other))
+	if d.SameTopology || d.TouchedArcs != nil {
+		t.Fatalf("different topology: got %+v", d)
+	}
+}

@@ -61,6 +61,21 @@ type Options struct {
 	// worker pool.  The optimum value returned by a complete search does
 	// not depend on it.
 	Parallelism int
+	// Incumbent optionally seeds the search with a known-feasible flow
+	// (typically a stored neighbor's solution): if it is a conserved flow
+	// within the budget (and, in target mode, meeting the target), its
+	// objective value becomes the starting incumbent and prunes the search
+	// from node one.  An invalid or infeasible seed is silently ignored —
+	// it is a hint, never an assumption.  Seeding cannot change the
+	// optimum a complete search returns: the incumbent is only ever
+	// REPLACED by strictly better solutions, and every prune it enables
+	// discards only subtrees that cannot beat it.
+	Incumbent []int64
+	// FlowPool optionally supplies the min-flow networks the search
+	// workers use, so topology-matched networks are reused across solves
+	// instead of rebuilt (see flow.SolverPool).  Reuse never changes any
+	// result; nil means each worker builds its own.
+	FlowPool *flow.SolverPool
 }
 
 // Stats reports how the search went.
@@ -125,6 +140,10 @@ type shared struct {
 	found       atomic.Bool
 	bestFlow    []int64 // guarded by mu
 	interrupted error   // guarded by mu
+
+	// pool optionally supplies worker min-flow networks (Options.FlowPool);
+	// nil-safe, see flow.SolverPool.
+	pool *flow.SolverPool
 }
 
 func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
@@ -150,7 +169,45 @@ func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
 	if opts != nil && opts.MaxNodes > 0 {
 		sh.maxNodes = int64(opts.MaxNodes)
 	}
+	if opts != nil {
+		sh.pool = opts.FlowPool
+	}
 	return sh
+}
+
+// seedIncumbent installs Options.Incumbent as the starting incumbent when
+// it is a valid flow feasible for this solve's constraints.  Callers run
+// it after the mode fields (budget, target, floor) are set and before the
+// search starts.  Soundness: record only ever replaces the incumbent with
+// strictly better solutions, so a seed can change which optimal witness a
+// search reports and how many nodes it expands, never the optimal VALUE —
+// and a seed that already meets the floor (or a decision run's stopAt)
+// legitimately ends the search before a single node is expanded.
+func (sh *shared) seedIncumbent(opts *Options) {
+	if opts == nil || len(opts.Incumbent) == 0 {
+		return
+	}
+	f := opts.Incumbent
+	value, err := flow.Conserved(sh.inst.G, f, sh.inst.Source, sh.inst.Sink)
+	if err != nil {
+		return // not a flow on this instance: ignore the hint
+	}
+	if sh.budget >= 0 && value > sh.budget {
+		return
+	}
+	durs := make([]int64, len(f))
+	for e, fn := range sh.inst.Fns {
+		durs[e] = fn.Eval(f[e])
+	}
+	makespan := sh.c.MakespanUnder(durs)
+	if sh.minimizeResource {
+		if sh.target >= 0 && makespan > sh.target {
+			return
+		}
+		sh.record(value, f)
+	} else {
+		sh.record(makespan, f)
+	}
 }
 
 // record offers a feasible objective value and its witness flow as the new
@@ -227,7 +284,7 @@ func newWorker(sh *shared) *worker {
 		sh:     sh,
 		level:  make([]int, m),
 		frozen: make([]bool, m),
-		mf:     flow.NewMinFlowSolver(sh.inst.G, sh.inst.Source, sh.inst.Sink),
+		mf:     sh.pool.Get(sh.inst.G, sh.inst.Source, sh.inst.Sink),
 		lb:     make([]int64, m),
 		durs:   make([]int64, m),
 		rdurs:  make([]int64, m),
@@ -447,7 +504,11 @@ func (sh *shared) run(parallelism int) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	if sh.done.Load() {
+		return // a seeded incumbent already proved optimal
+	}
 	root := newWorker(sh)
+	defer sh.pool.Put(root.mf)
 	if par <= 1 {
 		root.recurse()
 		return
@@ -498,6 +559,7 @@ func (sh *shared) run(parallelism int) {
 		go func() {
 			defer wg.Done()
 			w := newWorker(sh)
+			defer sh.pool.Put(w.mf)
 			for tk := range tasks {
 				copy(w.level, tk.level)
 				copy(w.frozen, tk.frozen)
@@ -641,6 +703,7 @@ func MinMakespanCompiled(ctx context.Context, c *core.Compiled, budget int64, op
 		sh.budgetMin[e] = fn.Eval(budget)
 	}
 	sh.floor.Store(c.MakespanUnder(sh.budgetMin))
+	sh.seedIncumbent(opts)
 	sh.run(optParallelism(opts))
 	return sh.solution()
 }
@@ -665,6 +728,7 @@ func MinResourceCompiled(ctx context.Context, c *core.Compiled, target int64, op
 	sh := newShared(ctx, c, opts)
 	sh.target = target
 	sh.minimizeResource = true
+	sh.seedIncumbent(opts)
 	sh.run(optParallelism(opts))
 	return sh.solution()
 }
@@ -695,6 +759,7 @@ func FeasibleCompiled(ctx context.Context, c *core.Compiled, budget, target int6
 	sh.budget = budget
 	sh.minimizeResource = true
 	sh.stopAt = budget
+	sh.seedIncumbent(opts)
 	sh.run(optParallelism(opts))
 	stats := sh.stats()
 	if sh.found.Load() && sh.bestVal.Load() <= budget {

@@ -62,6 +62,18 @@ type Options struct {
 	MaxIters int
 	// Tol is the relative duality-gap stopping tolerance; 0 means 1%.
 	Tol float64
+	// WarmFlow optionally seeds the Frank-Wolfe iteration with a starting
+	// point (typically a stored neighbor's integral solution).  A valid
+	// conserved flow is scaled into the budget if it overspends and used
+	// as the first iterate; anything else is ignored and the iteration
+	// starts from zero as before.  Warm starts are sound by construction:
+	// every lower-bound certificate is recomputed from the current
+	// iterate's own subgradients (phi is convex at EVERY feasible point,
+	// not just along the cold trajectory), so a warm start can change how
+	// fast the gap closes and which fractional point gets rounded — both
+	// within the certified envelope — but never the validity of the
+	// reported bounds.
+	WarmFlow []int64
 }
 
 func (o Options) withDefaults(m int) Options {
@@ -308,6 +320,7 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 		s.cost[e] = 0
 		s.avgCost[e] = 0
 	}
+	s.seedWarm(budget, o)
 	bestObj := math.Inf(1)
 	bestLB := 0.0
 	// constSum accumulates phi(f_k) - <g_k, f_k> for the averaged
@@ -397,6 +410,35 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 	res.RelaxValue = bestObj
 	res.LowerBound = bestLB
 	return nil
+}
+
+// seedWarm overwrites the zero starting point with Options.WarmFlow when
+// it is a conserved non-negative flow on this instance, scaling it
+// uniformly into the budget if it overspends (uniform scaling preserves
+// conservation, so the seed stays inside the polytope {f >= 0, value <=
+// B}).  An invalid seed is ignored.  The first iteration evaluates
+// phi(seed) and takes it as the initial best iterate, so a seed near the
+// new optimum closes the duality gap in a handful of iterations.
+func (s *Solver) seedWarm(budget int64, o Options) {
+	wf := o.WarmFlow
+	m := s.inst.G.NumEdges()
+	if len(wf) != m {
+		return
+	}
+	value, err := flow.Conserved(s.inst.G, wf, s.inst.Source, s.inst.Sink)
+	if err != nil {
+		return
+	}
+	scale := 1.0
+	if value > budget {
+		if value <= 0 {
+			return
+		}
+		scale = float64(budget) / float64(value)
+	}
+	for e := 0; e < m; e++ {
+		s.f[e] = float64(wf[e]) * scale
+	}
 }
 
 // lineSearch minimizes phi((1-gamma) f + gamma * B * 1_path) over

@@ -162,7 +162,10 @@ func servePost(h http.Handler, body []byte) *httptest.ResponseRecorder {
 // BenchmarkServeColdInstance: the acceptance bar for the compiled core is
 // at least 2x fewer allocs/op here than there.
 func BenchmarkServeHotInstance(b *testing.B) {
-	svc := New(Config{Workers: 1})
+	svc, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer svc.Close()
 	h := svc.Handler()
 	body := benchBody(b)
@@ -183,7 +186,10 @@ func BenchmarkServeHotInstance(b *testing.B) {
 // hashes and solves.  The hot/cold allocs/op ratio is the measured payoff
 // of the compiled-instance core.
 func BenchmarkServeColdInstance(b *testing.B) {
-	svc := New(Config{Workers: 1, CacheEntries: -1, CompiledEntries: -1})
+	svc, err := New(Config{Workers: 1, CacheEntries: -1, CompiledEntries: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer svc.Close()
 	h := svc.Handler()
 	body := benchBody(b)

@@ -34,7 +34,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // Config tunes a Server.
@@ -56,6 +58,12 @@ type Config struct {
 	CompiledEntries int
 	// MaxBodyBytes caps request bodies; <= 0 means the 8 MiB default.
 	MaxBodyBytes int64
+	// StoreDir roots the durable solve store.  Empty keeps the service
+	// purely in-memory; set, the server loads every previously stored
+	// result at boot (so restarts resume warm), writes every completed
+	// solve through to disk, and warm-starts solves of near-identical
+	// instances from stored neighbors.
+	StoreDir string
 }
 
 // Defaults for Config zero values.
@@ -71,15 +79,22 @@ type Server struct {
 	pool     *pool
 	cache    *resultCache
 	compiled *compiledCache
+	store    *store.Store // nil without Config.StoreDir
+	flowPool *flow.SolverPool
 	mux      *http.ServeMux
 	start    time.Time
 	maxBody  int64
 
 	requests atomic.Int64
+	warmHits atomic.Int64
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool.  With Config.StoreDir
+// set it also opens the durable store; an unusable store directory is an
+// error — a persistence-configured service must never silently start
+// empty (corrupt individual entries are skipped and counted instead, see
+// StoreLoad).
+func New(cfg Config) (*Server, error) {
 	entries := cfg.CacheEntries
 	switch {
 	case entries == 0:
@@ -98,10 +113,19 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		pool:     newPool(cfg.Workers),
 		cache:    newResultCache(entries),
 		compiled: newCompiledCache(compiledEntries),
+		store:    st,
+		flowPool: flow.NewSolverPool(0),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		maxBody:  maxBody,
@@ -110,7 +134,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	return s
+	return s, nil
+}
+
+// StoreLoad reports what the durable store found at boot, so embedders
+// (cmd/rtserve) can log skipped entries instead of silently losing them.
+// ok is false when the server runs without a store.
+func (s *Server) StoreLoad() (lr store.LoadReport, ok bool) {
+	if s.store == nil {
+		return store.LoadReport{}, false
+	}
+	return s.store.Load(), true
 }
 
 // Handler returns the service's HTTP handler.
@@ -158,29 +192,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Requests: s.requests.Load(),
+		WarmHits: s.warmHits.Load(),
 		Cache:    s.cache.stats(),
 		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
+		Store:    s.storeStats(),
 	})
+}
+
+// storeStats snapshots the durable store, nil without one.
+func (s *Server) storeStats() *store.Stats {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store.Stats()
+	return &st
 }
 
 // GlobalStats snapshots the service counters: the programmatic twin of
 // GET /v1/stats, used by embedders (rtcorpus records it in its quality
 // report).
 type GlobalStats struct {
-	Requests int64              `json:"requests"`
+	Requests int64 `json:"requests"`
+	// WarmHits counts solves seeded from a stored neighbor's solution.
+	WarmHits int64              `json:"warm_hits"`
 	Cache    CacheStats         `json:"cache"`
 	Compiled CompiledCacheStats `json:"compiled"`
 	Pool     PoolStats          `json:"pool"`
+	// Store describes the durable store; nil without Config.StoreDir.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Stats returns the current counters.
 func (s *Server) Stats() GlobalStats {
 	return GlobalStats{
 		Requests: s.requests.Load(),
+		WarmHits: s.warmHits.Load(),
 		Cache:    s.cache.stats(),
 		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
+		Store:    s.storeStats(),
 	}
 }
 
@@ -273,14 +324,45 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 	}
 
 	key := solver.ResultCacheKey(name, c, opts)
+	var storeHit, warm bool
+	// solve is the store-aware compute path behind both cache strategies.
+	// It runs only on an LRU miss: first the durable store is probed — a
+	// hit answers without queueing any pool work — then a stored neighbor
+	// (same structural sketch, solver and options, different instance) is
+	// sought to warm-start the real solve, and a completed result is
+	// written through to the store.  Warm starts are hints by contract
+	// (solver.Options.Incumbent): certificates are recomputed, so a wrong
+	// or stale donor can cost time but never change a complete result.
 	solve := func(solveCtx context.Context) (solver.WireReport, error) {
-		return s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
+		if s.store != nil {
+			if rep, ok := s.store.GetReport(key); ok {
+				storeHit = true
+				return rep, nil
+			}
+			opts.Incumbent = s.warmSeed(c, name, opts)
+			warm = opts.Incumbent != nil
+			if warm {
+				s.warmHits.Add(1)
+			}
+		}
+		opts.FlowPool = s.flowPool
+		rep, err := s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
 			r, err := solver.SolveCompiledOptions(solveCtx, name, c, opts)
 			if r == nil {
 				return solver.WireReport{}, err
 			}
 			return r.Wire(), err
 		})
+		if err == nil && rep.Complete && s.store != nil {
+			// Write-through, best effort: a full disk degrades durability,
+			// not availability.  The raw request bytes are a valid stored
+			// encoding of the instance even when the compiled form came from
+			// an isomorphic earlier request — all encodings share the hash.
+			meta := store.Meta{Hash: c.Hash(), Sketch: c.Sketch(), Solver: name, OptKey: opts.CacheKey()}
+			_ = s.store.PutReport(key, meta, rep)
+			_ = s.store.PutInstance(c.Hash(), c.Sketch(), req.Instance)
+		}
+		return rep, err
 	}
 	var (
 		rep    solver.WireReport
@@ -316,6 +398,8 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 		Hash:          c.Hash(),
 		Cached:        cached,
 		CompiledHit:   compiledHit,
+		StoreHit:      storeHit,
+		Warm:          warm,
 		InstanceNodes: c.Inst.G.NumNodes(),
 		InstanceArcs:  c.Inst.G.NumEdges(),
 		WallMS:        float64(time.Since(start)) / float64(time.Millisecond),
@@ -338,4 +422,32 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 		}
 	}
 	return resp, http.StatusOK
+}
+
+// warmSeed looks for a stored warm-start donor for compiled instance c
+// under (solver name, options): a completed report with a witness flow on
+// a DIFFERENT instance with the identical structural sketch.  Equal
+// sketches mean index-aligned identical topology, so the donor's flow is
+// conserved arc for arc here; the seed is only worth taking when few arcs
+// changed their duration functions, so instances differing on more than
+// half their arcs solve cold.  Returns nil when no donor qualifies.
+func (s *Server) warmSeed(c *core.Compiled, name string, opts solver.Options) []int64 {
+	meta, donor, ok := s.store.Neighbor(c.Sketch(), name, opts.CacheKey(), c.Hash())
+	if !ok {
+		return nil
+	}
+	raw, ok := s.store.GetInstance(meta.Hash)
+	if !ok {
+		return nil
+	}
+	var ninst core.Instance
+	if err := json.Unmarshal(raw, &ninst); err != nil {
+		return nil
+	}
+	nc := core.Compile(&ninst)
+	d := core.Diff(c, nc)
+	if !d.SameTopology || 2*len(d.TouchedArcs) > c.Inst.G.NumEdges() {
+		return nil
+	}
+	return donor.Flow
 }

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+)
+
+// storeInstanceJSON builds the wire form of a small two-path instance;
+// bump shifts one arc's base duration, producing a same-topology neighbor
+// differing on exactly one arc.
+func storeInstanceJSON(t testing.TB, bump int64) []byte {
+	t.Helper()
+	g := dag.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	snk := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(a, b)
+	g.AddEdge(b, snk)
+	g.AddEdge(s, c)
+	g.AddEdge(c, snk)
+	g.AddEdge(a, c)
+	step := func(t0, t1, r int64) duration.Func {
+		return duration.MustStep(duration.Tuple{R: 0, T: t0}, duration.Tuple{R: r, T: t1})
+	}
+	fns := []duration.Func{
+		step(10, 4, 2),
+		step(9, 3, 2),
+		step(8+bump, 2, 3),
+		step(12, 5, 2),
+		step(11, 6, 2),
+		duration.Constant(1),
+	}
+	inst, err := core.NewInstance(g, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func storeSolveBody(t testing.TB, bump int64) string {
+	return fmt.Sprintf(`{"solver":"exact","options":{"budget":5,"parallelism":1},"instance":%s}`,
+		storeInstanceJSON(t, bump))
+}
+
+// TestStoreRestartRoundTrip is the durability contract end to end: a
+// second server opened on the first server's store directory must answer
+// a previously solved request straight from disk — store_hit set, pool
+// untouched, report identical.
+func TestStoreRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+
+	body := storeSolveBody(t, 0)
+	var first SolveResponse
+	if code := postSolve(t, tsA, body, &first); code != 200 {
+		t.Fatalf("first solve: status %d, error %q", code, first.Error)
+	}
+	if first.StoreHit {
+		t.Fatal("first solve claimed a store hit on an empty store")
+	}
+	if first.Report == nil || !first.Report.Complete {
+		t.Fatal("first solve did not complete")
+	}
+
+	// "Restart": a fresh server over the same directory.
+	svcB, tsB := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	if lr, ok := svcB.StoreLoad(); !ok || lr.Reports != 1 || lr.Instances != 1 || lr.Corrupt != 0 {
+		t.Fatalf("restarted server loaded %+v, want 1 report + 1 instance", lr)
+	}
+
+	var again SolveResponse
+	if code := postSolve(t, tsB, body, &again); code != 200 {
+		t.Fatalf("restarted solve: status %d, error %q", code, again.Error)
+	}
+	if !again.StoreHit {
+		t.Fatal("restarted solve missed the durable store")
+	}
+	if again.Warm {
+		t.Fatal("a store hit must not be warm-started; nothing was solved")
+	}
+	gotB, _ := json.Marshal(again.Report)
+	wantB, _ := json.Marshal(first.Report)
+	if string(gotB) != string(wantB) {
+		t.Fatalf("stored report differs from the original:\n%s\n%s", gotB, wantB)
+	}
+	stats := svcB.Stats()
+	if stats.Pool.Jobs != 0 {
+		t.Fatalf("store hit queued %d pool jobs, want 0", stats.Pool.Jobs)
+	}
+	if stats.Store == nil || stats.Store.Entries != 1 || stats.Store.Hits != 1 {
+		t.Fatalf("store stats %+v, want 1 entry and 1 hit", stats.Store)
+	}
+}
+
+// TestWarmStartFromStoredNeighbor solves an instance, then its one-arc
+// neighbor on the same server: the second solve must be warm-seeded from
+// the stored solution and still certify the neighbor's own optimum.
+func TestWarmStartFromStoredNeighbor(t *testing.T) {
+	dir := t.TempDir()
+	svc, ts := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+
+	var base SolveResponse
+	if code := postSolve(t, ts, storeSolveBody(t, 0), &base); code != 200 {
+		t.Fatalf("base solve: status %d, error %q", code, base.Error)
+	}
+	var warm SolveResponse
+	if code := postSolve(t, ts, storeSolveBody(t, 3), &warm); code != 200 {
+		t.Fatalf("neighbor solve: status %d, error %q", code, warm.Error)
+	}
+	if !warm.Warm {
+		t.Fatal("neighbor solve was not warm-started")
+	}
+	if warm.StoreHit || warm.Cached {
+		t.Fatal("a distinct neighbor cannot be a store or cache hit")
+	}
+	if got := svc.Stats().WarmHits; got != 1 {
+		t.Fatalf("warm_hits = %d, want 1", got)
+	}
+
+	// Soundness: a cold solve of the neighbor on a store-less server must
+	// certify the identical optimum.
+	_, tsCold := newTestServer(t, Config{Workers: 1})
+	var cold SolveResponse
+	if code := postSolve(t, tsCold, storeSolveBody(t, 3), &cold); code != 200 {
+		t.Fatalf("cold reference solve: status %d, error %q", code, cold.Error)
+	}
+	if warm.Report.Makespan != cold.Report.Makespan || warm.Report.Resources != cold.Report.Resources {
+		t.Fatalf("warm optimum (%d,%d) != cold (%d,%d)",
+			warm.Report.Makespan, warm.Report.Resources, cold.Report.Makespan, cold.Report.Resources)
+	}
+
+	// The neighbor's solve was itself stored; an isomorphic re-encoding of
+	// it (same canonical hash) must now be a store hit on a fresh server.
+	svcC, tsC := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	var again SolveResponse
+	if code := postSolve(t, tsC, storeSolveBody(t, 3), &again); code != 200 {
+		t.Fatalf("replay solve: status %d, error %q", code, again.Error)
+	}
+	if !again.StoreHit {
+		t.Fatal("neighbor result was not written through to the store")
+	}
+	if lr, _ := svcC.StoreLoad(); lr.Reports != 2 || lr.Instances != 2 {
+		t.Fatalf("store holds %+v, want 2 reports + 2 instances", lr)
+	}
+}
+
+// TestStatsExposesStore checks /v1/stats carries the store block and the
+// warm-hit counter over the wire.
+func TestStatsExposesStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	var first SolveResponse
+	if code := postSolve(t, ts, storeSolveBody(t, 0), &first); code != 200 {
+		t.Fatalf("solve: status %d, error %q", code, first.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil || stats.Store.Entries != 1 {
+		t.Fatalf("stats store block %+v, want 1 entry", stats.Store)
+	}
+	if stats.Store.Misses == 0 {
+		t.Fatal("the cold solve should have counted a store miss")
+	}
+}

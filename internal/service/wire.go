@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // SolveRequest is one solve over the wire: an instance in the core JSON
@@ -38,6 +39,14 @@ type SolveResponse struct {
 	// compiled: the request skipped JSON decoding, validation, compilation
 	// and canonical hashing, reusing the cached core.Compiled.
 	CompiledHit bool `json:"compiled_hit,omitempty"`
+	// StoreHit reports that the result was served from the durable store
+	// without queueing any solve: the answer survived a restart.
+	StoreHit bool `json:"store_hit,omitempty"`
+	// Warm reports that the solve was seeded with a stored neighbor's
+	// solution (solver.Options.Incumbent).  A hint only: certificates are
+	// recomputed, the reported optimum is exactly what a cold solve
+	// certifies.
+	Warm bool `json:"warm,omitempty"`
 	// WallMS is the wall time this request spent in the service (queueing
 	// included); the solve's own compute time is Report.WallMS.
 	WallMS float64 `json:"wall_ms"`
@@ -72,11 +81,15 @@ type HealthResponse struct {
 
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
-	UptimeMS float64            `json:"uptime_ms"`
-	Requests int64              `json:"requests"`
+	UptimeMS float64 `json:"uptime_ms"`
+	Requests int64   `json:"requests"`
+	// WarmHits counts solves seeded from a stored neighbor's solution.
+	WarmHits int64              `json:"warm_hits"`
 	Cache    CacheStats         `json:"cache"`
 	Compiled CompiledCacheStats `json:"compiled"`
 	Pool     PoolStats          `json:"pool"`
+	// Store describes the durable store; absent without -store.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // errorResponse is the JSON error envelope for non-200 answers.

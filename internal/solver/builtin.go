@@ -134,7 +134,7 @@ func fromApprox(res *approx.Result, err error) (*Report, error) {
 // cancellation with a solution already in hand, the partial Report is
 // returned together with the context error.
 func solveExact(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
-	eopts := &exact.Options{MaxNodes: o.MaxNodes, Parallelism: o.Parallelism}
+	eopts := &exact.Options{MaxNodes: o.MaxNodes, Parallelism: o.Parallelism, Incumbent: o.Incumbent, FlowPool: o.FlowPool}
 	var (
 		sol   core.Solution
 		stats exact.Stats

@@ -76,6 +76,13 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 				t.Errorf("Options.%s: no perturbation strategy; extend the test", f.Name)
 			}
 			continue
+		case reflect.Slice, reflect.Ptr:
+			// Incumbent / FlowPool: reference-typed hints cannot be
+			// rendered into a canonical key, so they must be excluded.
+			if !excluded {
+				t.Errorf("Options.%s: reference-typed field must be in cacheKeyExcluded", f.Name)
+			}
+			continue
 		default:
 			t.Errorf("Options.%s: no perturbation strategy for kind %v; extend the test", f.Name, f.Type.Kind())
 			continue

@@ -23,7 +23,7 @@ import (
 // as exact's MinFlowSolver.
 func solveFrankWolfe(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 	s := relax.NewSolverCompiled(c)
-	opt := relax.Options{Alpha: o.Alpha}
+	opt := relax.Options{Alpha: o.Alpha, WarmFlow: o.Incumbent}
 	var (
 		res *relax.Result
 		err error

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/duration"
 	"repro/internal/exact"
+	"repro/internal/flow"
 	"repro/internal/sp"
 )
 
@@ -128,6 +129,21 @@ type Options struct {
 	// Deadline bounds the wall time; zero means none.  Solve derives a
 	// context deadline from it.
 	Deadline time.Time
+	// Incumbent optionally seeds warm-startable solvers with a
+	// known-feasible flow, typically a stored neighbor's solution: the
+	// exact search starts with it as the incumbent and prunes from node
+	// one, the Frank-Wolfe relaxation starts iterating from it.  It is a
+	// HINT, not an input: solvers validate it (conservation, budget,
+	// target) and silently ignore anything unusable, certificates are
+	// always recomputed rather than inherited, and a complete solve's
+	// optimal VALUE never depends on it.  Solvers without a warm-start
+	// path ignore it entirely.
+	Incumbent []int64
+	// FlowPool optionally shares min-flow networks across solves (see
+	// flow.SolverPool): topology-matched instances reuse one transformed
+	// network instead of rebuilding it.  Purely an allocation/latency
+	// knob; results never depend on it.
+	FlowPool *flow.SolverPool
 
 	// spTree and spLeafArc carry an already-recognized series-parallel
 	// decomposition from the auto router to the spdp solver, saving a
@@ -169,6 +185,15 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 
 // WithDeadline bounds the solve's wall time via a context deadline.
 func WithDeadline(d time.Time) Option { return func(o *Options) { o.Deadline = d } }
+
+// WithIncumbent seeds warm-startable solvers with a known-feasible flow
+// (see Options.Incumbent).  The slice is not copied; callers must not
+// mutate it during the solve.
+func WithIncumbent(f []int64) Option { return func(o *Options) { o.Incumbent = f } }
+
+// WithFlowPool shares min-flow networks across solves (see
+// Options.FlowPool).
+func WithFlowPool(p *flow.SolverPool) Option { return func(o *Options) { o.FlowPool = p } }
 
 // NewOptions resolves functional options onto the defaults
 // (no budget, no target, alpha 1/2, unlimited nodes, no deadline).

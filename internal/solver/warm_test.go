@@ -1,0 +1,205 @@
+package solver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/duration"
+	"repro/internal/scenario"
+)
+
+// warmWireBytes renders a report for warm-vs-cold byte comparison: wall
+// time and the node count are zeroed, because a warm-started search
+// legitimately expands fewer nodes while certifying the same result.
+func warmWireBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	w := rep.Wire()
+	w.WallMS = 0
+	w.Nodes = 0
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// usesFrankWolfe reports whether the report came through the Frank-Wolfe
+// relaxation, whose warm start is a genuinely different (still certified)
+// iteration trajectory rather than a pruning hint.
+func usesFrankWolfe(rep *Report) bool {
+	return rep.Solver == "frankwolfe" || strings.Contains(rep.Routing, "frankwolfe")
+}
+
+// TestWarmStartedReportsMatchCold is the system-wide warm-start property
+// over the scenario corpus: for every registered solver, re-solving with
+// the cold solve's own flow as the incumbent must yield a byte-identical
+// report (modulo wall time and node counts).  Frank-Wolfe-routed reports
+// are the documented exception — seeding moves the iterate sequence, so
+// the warm result is a different certified point, not the same bytes —
+// and are instead held to determinism (two warm runs identical) and to
+// completing whenever the cold run completed.
+func TestWarmStartedReportsMatchCold(t *testing.T) {
+	for _, spec := range scenario.DefaultCorpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := NewOptions()
+			if spec.Budget != nil {
+				opts.Budget = *spec.Budget
+			} else {
+				opts.Target = *spec.Target
+			}
+			// Parallelism 1 and a node cap keep every corpus entry fast and
+			// schedule-independent (same pinning as the memoization test).
+			opts.Parallelism = 1
+			opts.MaxNodes = 1024
+
+			c := core.Compile(inst)
+			denseOK := c.ExpandedArcs <= autoDenseLPArcs
+			for _, s := range List() {
+				if strings.HasPrefix(s.Name(), "test-") {
+					continue
+				}
+				if ValidateOptions(s, opts) != nil {
+					continue
+				}
+				if s.Capabilities().Approximate && !s.Capabilities().Parallel && !denseOK && s.Name() != "frankwolfe" {
+					continue // dense simplex would not fit this instance
+				}
+				cold, err := SolveCompiledOptions(context.Background(), s.Name(), c, opts)
+				if err != nil {
+					if errors.Is(err, ErrNotSeriesParallel) {
+						continue
+					}
+					t.Fatalf("%s cold: %v", s.Name(), err)
+				}
+				if len(cold.Sol.Flow) == 0 {
+					continue // nothing to seed with
+				}
+				wopts := opts
+				wopts.Incumbent = cold.Sol.Flow
+				warm, err := SolveCompiledOptions(context.Background(), s.Name(), c, wopts)
+				if err != nil {
+					t.Fatalf("%s warm: %v", s.Name(), err)
+				}
+				if usesFrankWolfe(cold) || usesFrankWolfe(warm) {
+					if cold.Complete && !warm.Complete {
+						t.Fatalf("%s: warm start lost completeness", s.Name())
+					}
+					warm2, err := SolveCompiledOptions(context.Background(), s.Name(), c, wopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a, b := warmWireBytes(t, warm), warmWireBytes(t, warm2); string(a) != string(b) {
+						t.Fatalf("%s: identical warm runs differ:\n%s\n%s", s.Name(), a, b)
+					}
+					continue
+				}
+				if a, b := warmWireBytes(t, cold), warmWireBytes(t, warm); string(a) != string(b) {
+					t.Fatalf("%s: warm-started report differs from cold:\n%s\n%s", s.Name(), a, b)
+				}
+			}
+		})
+	}
+}
+
+// benchWarmInstance builds a layered DAG of roughly 300 arcs, almost all
+// constant-duration, with a handful of 2-tuple step arcs so the exact
+// search has real (but bounded) branching.  delta perturbs the first k
+// constant arcs by +1, producing a same-topology k-arc neighbor.
+func benchWarmInstance(k int) *core.Instance {
+	g := dag.New()
+	const width, layers = 8, 5
+	s := g.AddNode("s")
+	prev := []int{s}
+	n := 0
+	for l := 0; l < layers; l++ {
+		var cur []int
+		for w := 0; w < width; w++ {
+			cur = append(cur, g.AddNode(fmt.Sprintf("n%d", n)))
+			n++
+		}
+		for _, u := range prev {
+			for _, v := range cur {
+				g.AddEdge(u, v)
+			}
+		}
+		prev = cur
+	}
+	snk := g.AddNode("t")
+	for _, u := range prev {
+		g.AddEdge(u, snk)
+	}
+	m := g.NumEdges()
+	fns := make([]duration.Func, m)
+	perturbed := 0
+	for e := range fns {
+		base := int64(6 + e%7)
+		if perturbed < k {
+			base++
+			perturbed++
+		}
+		if e%17 == 0 {
+			fns[e] = duration.MustStep(
+				duration.Tuple{R: 0, T: base + 12},
+				duration.Tuple{R: 1 + int64(e%3), T: base + 6},
+			)
+		} else {
+			fns[e] = duration.Constant(base)
+		}
+	}
+	return core.MustInstance(g, fns)
+}
+
+// BenchmarkWarmVsColdResolve measures re-solving a k-arc neighbor of an
+// already-solved instance, cold versus warm-started from the stored
+// solution, for k in {1, 16, 256}.  The acceptance bar for the warm-start
+// subsystem is warm <= 50% of cold at k=1; the spread across k shows the
+// benefit degrading as the neighbor drifts.
+func BenchmarkWarmVsColdResolve(b *testing.B) {
+	const budget = 8
+	base := core.Compile(benchWarmInstance(0))
+	opts := NewOptions()
+	opts.Budget = budget
+	opts.Parallelism = 1
+	seedRep, err := SolveCompiledOptions(context.Background(), "exact", base, opts)
+	if err != nil || !seedRep.Complete {
+		b.Fatalf("base solve failed: %v (complete=%v)", err, seedRep != nil && seedRep.Complete)
+	}
+	seed := seedRep.Sol.Flow
+
+	for _, k := range []int{1, 16, 256} {
+		nc := core.Compile(benchWarmInstance(k))
+		ref, err := SolveCompiledOptions(context.Background(), "exact", nc, opts)
+		if err != nil || !ref.Complete {
+			b.Fatalf("neighbor k=%d solve failed: %v", k, err)
+		}
+		for _, mode := range []string{"cold", "warm"} {
+			o := opts
+			if mode == "warm" {
+				o.Incumbent = seed
+			}
+			b.Run(fmt.Sprintf("delta%d/%s", k, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rep, err := SolveCompiledOptions(context.Background(), "exact", nc, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Sol.Makespan != ref.Sol.Makespan {
+						b.Fatalf("%s k=%d: makespan %d != certified %d", mode, k, rep.Sol.Makespan, ref.Sol.Makespan)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreLookup measures the in-memory report probe that sits on
+// every solve request's hot path, at a realistic store size.
+func BenchmarkStoreLookup(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1024
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("exact|hash-%04d|opts", i)
+		if err := s.PutReport(keys[i], testMeta(i), testReport(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.GetReport(keys[i%n]); !ok {
+			b.Fatal("miss on a stored key")
+		}
+	}
+}

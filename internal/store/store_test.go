@@ -1,0 +1,284 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func testReport(i int) solver.WireReport {
+	return solver.WireReport{
+		Solver:    "exact",
+		Objective: "min-makespan",
+		Makespan:  int64(10 + i),
+		Resources: int64(i),
+		Flow:      []int64{int64(i), 1, int64(i), 1},
+		Exact:     true,
+		Complete:  true,
+		WallMS:    1.5,
+	}
+}
+
+func testMeta(i int) Meta {
+	return Meta{
+		Hash:   fmt.Sprintf("hash-%04d", i),
+		Sketch: "sketch-a",
+		Solver: "exact",
+		OptKey: "b5.t-1.a0.5.n0.p1",
+	}
+}
+
+// TestRoundTrip writes entries, reopens the directory, and checks every
+// report and instance survives byte for byte.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("exact|hash-%04d|opts", i)
+		if err := s.PutReport(key, testMeta(i), testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+		raw := []byte(fmt.Sprintf(`{"nodes":["s","t"],"i":%d}`, i))
+		if err := s.PutInstance(testMeta(i).Hash, "sketch-a", raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := re.Load(); lr.Reports != 5 || lr.Instances != 5 || lr.Corrupt != 0 {
+		t.Fatalf("reload found %+v, want 5 reports + 5 instances, 0 corrupt", lr)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("exact|hash-%04d|opts", i)
+		got, ok := re.GetReport(key)
+		if !ok {
+			t.Fatalf("report %d missing after reopen", i)
+		}
+		want, _ := json.Marshal(testReport(i))
+		gotb, _ := json.Marshal(got)
+		if string(gotb) != string(want) {
+			t.Fatalf("report %d mutated: %s vs %s", i, gotb, want)
+		}
+		inst, ok := re.GetInstance(testMeta(i).Hash)
+		if !ok {
+			t.Fatalf("instance %d missing after reopen", i)
+		}
+		if !strings.Contains(string(inst), fmt.Sprintf(`"i":%d`, i)) {
+			t.Fatalf("instance %d bytes mutated: %s", i, inst)
+		}
+	}
+	if st := re.Stats(); st.Entries != 5 || st.Hits != 5 || st.Bytes == 0 {
+		t.Fatalf("stats %+v, want 5 entries, 5 hits, nonzero bytes", st)
+	}
+
+	// Incomplete reports must never be persisted.
+	inc := testReport(9)
+	inc.Complete = false
+	if err := re.PutReport("exact|hash-inc|opts", testMeta(9), inc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.GetReport("exact|hash-inc|opts"); ok {
+		t.Fatal("incomplete report was stored")
+	}
+}
+
+// TestCorruptAndTruncatedEntriesSkipped damages stored files in every
+// flavor — truncation, bit-flip, garbage, stray temp — and checks Open
+// survives, counts them, and loads the healthy remainder.
+func TestCorruptAndTruncatedEntriesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("exact|hash-%04d|opts", i)
+		if err := s.PutReport(key, testMeta(i), testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "reports", "*.json"))
+	if err != nil || len(files) != 4 {
+		t.Fatalf("want 4 report files, got %d (%v)", len(files), err)
+	}
+
+	// files is sorted; damage the first three differently.
+	raw, _ := os.ReadFile(files[0])
+	os.WriteFile(files[0], raw[:len(raw)/2], 0o644) // truncated
+	raw, _ = os.ReadFile(files[1])
+	raw[len(raw)/2] ^= 0x40 // checksum mismatch
+	os.WriteFile(files[1], raw, 0o644)
+	os.WriteFile(files[2], []byte("not json at all"), 0o644) // garbage
+	os.WriteFile(filepath.Join(dir, "reports", "crashed.123.tmp"), []byte("partial"), 0o644)
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open must survive corruption: %v", err)
+	}
+	lr := re.Load()
+	if lr.Reports != 1 {
+		t.Fatalf("loaded %d reports, want 1 healthy survivor", lr.Reports)
+	}
+	if lr.Corrupt != 3 || len(lr.Errors) != 3 {
+		t.Fatalf("counted %d corrupt with %d errors, want 3/3: %v", lr.Corrupt, len(lr.Errors), lr.Errors)
+	}
+	if st := re.Stats(); st.Corrupt != 3 {
+		t.Fatalf("Stats().Corrupt = %d, want 3", st.Corrupt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "reports", "crashed.123.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file was not swept")
+	}
+
+	// A demand-read of a corrupted instance is skipped and counted too.
+	if err := re.PutInstance("hash-x", "sk", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	ipath := filepath.Join(dir, "instances", "hash-x.json")
+	os.WriteFile(ipath, []byte("zap"), 0o644)
+	if _, ok := re.GetInstance("hash-x"); ok {
+		t.Fatal("corrupted instance served")
+	}
+	if st := re.Stats(); st.Corrupt != 4 {
+		t.Fatalf("Stats().Corrupt = %d after bad instance read, want 4", st.Corrupt)
+	}
+}
+
+// TestVersionMismatchIgnored rewrites a valid entry under a foreign
+// payload version (with a correct checksum) and checks it is skipped —
+// not loaded, not counted as corrupt.
+func TestVersionMismatchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutReport("k", testMeta(0), testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "reports", "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 file, got %d", len(files))
+	}
+	// Re-wrap the payload with a bumped version and a fresh checksum, so
+	// only the version check can reject it.
+	payload, _, err := readVerified(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp reportPayload
+	if err := json.Unmarshal(payload, &rp); err != nil {
+		t.Fatal(err)
+	}
+	rp.Version = payloadVersion + 1
+	if _, err := writeEntry(files[0], rp); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := re.Load()
+	if lr.Reports != 0 || lr.Skipped != 1 || lr.Corrupt != 0 {
+		t.Fatalf("load report %+v, want 0 loaded, 1 skipped, 0 corrupt", lr)
+	}
+	if _, ok := re.GetReport("k"); ok {
+		t.Fatal("foreign-version entry was served")
+	}
+}
+
+// TestConcurrentWriters hammers one store from many goroutines (run
+// under -race in CI) and checks every write survives a reopen.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				n := w*perWriter + i
+				key := fmt.Sprintf("exact|hash-%04d|opts", n)
+				if err := s.PutReport(key, testMeta(n), testReport(n)); err != nil {
+					t.Error(err)
+				}
+				if err := s.PutInstance(testMeta(n).Hash, "sketch-a", []byte(`{"n":1}`)); err != nil {
+					t.Error(err)
+				}
+				s.GetReport(key)
+				s.Neighbor("sketch-a", "exact", testMeta(n).OptKey, testMeta(n).Hash)
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := re.Load(); lr.Reports != writers*perWriter || lr.Corrupt != 0 {
+		t.Fatalf("reload found %+v, want %d clean reports", lr, writers*perWriter)
+	}
+}
+
+// TestNeighborLookup checks donor selection: same sketch+solver+options,
+// different hash, deterministic choice, and the no-donor cases.
+func TestNeighborLookup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m := testMeta(i)
+		key := fmt.Sprintf("exact|%s|%s", m.Hash, m.OptKey)
+		if err := s.PutReport(key, m, testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutInstance(m.Hash, m.Sketch, []byte(`{"i":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, rep, ok := s.Neighbor("sketch-a", "exact", testMeta(0).OptKey, "hash-0001")
+	if !ok {
+		t.Fatal("no neighbor found")
+	}
+	if m.Hash == "hash-0001" {
+		t.Fatal("neighbor returned the excluded instance itself")
+	}
+	if m.Hash != "hash-0000" { // sorted key order makes the choice deterministic
+		t.Fatalf("neighbor picked %s, want hash-0000", m.Hash)
+	}
+	if len(rep.Flow) == 0 {
+		t.Fatal("neighbor report has no witness flow")
+	}
+
+	if _, _, ok := s.Neighbor("sketch-other", "exact", testMeta(0).OptKey, ""); ok {
+		t.Fatal("found a neighbor for an unknown sketch")
+	}
+	if _, _, ok := s.Neighbor("sketch-a", "frankwolfe", testMeta(0).OptKey, ""); ok {
+		t.Fatal("found a neighbor across solver names")
+	}
+	if _, _, ok := s.Neighbor("sketch-a", "exact", "other-opts", ""); ok {
+		t.Fatal("found a neighbor across option keys")
+	}
+}
