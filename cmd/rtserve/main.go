@@ -13,7 +13,14 @@
 //
 // Batches go under {"batch": [...]}; duplicated instances inside a batch
 // are solved once and served from the cache.  GET /v1/stats reports cache
-// hit/miss/coalesce counters and pool utilization.
+// hit/miss/coalesce counters, pool utilization and job activity.
+//
+// Long solves go through the async job API instead: POST /v1/jobs returns
+// 202 with a job id immediately, GET /v1/jobs/{id} polls, and GET
+// /v1/jobs/{id}/events streams the live incumbent/bound/gap trajectory as
+// Server-Sent Events.  GET or POST /v1/frontier sweeps a budget range and
+// returns the resource-time tradeoff curve, each point warm-started from
+// its neighbor.  See docs/API.md for the full reference.
 package main
 
 import (
@@ -39,6 +46,7 @@ func main() {
 	compiled := flag.Int("compiled", 0, "compiled-instance cache entries; each entry retains a few times its instance's wire size (0: 512 default, -1: disable)")
 	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0: 8 MiB default)")
 	storeDir := flag.String("store", "", "durable solve store directory (empty: in-memory only)")
+	retainJobs := flag.Int("jobs", 0, "finished async jobs retained for polling (0: 256 default, -1: none)")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -47,6 +55,7 @@ func main() {
 		CompiledEntries: *compiled,
 		MaxBodyBytes:    *maxBody,
 		StoreDir:        *storeDir,
+		RetainJobs:      *retainJobs,
 	})
 	if err != nil {
 		log.Fatal(err)

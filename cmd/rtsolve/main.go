@@ -5,7 +5,15 @@
 //	rtsolve -in instance.json -budget 8 -algo bicriteria [-alpha 0.5]
 //	rtsolve -in instance.json -target 20 -algo exact [-deadline 30s]
 //	rtsolve -in instance.json -budget 8 -algo exact -parallel 4
+//	rtsolve -in instance.json -frontier 0:10             # tradeoff curve
+//	rtsolve -in instance.json -frontier 0:10:6 -server http://localhost:8080
 //	rtsolve -list                                        # solver table
+//
+// -frontier lo:hi[:steps] sweeps the budget range and prints the
+// resource-time tradeoff curve, compiling the instance once and
+// warm-starting each solve from its smaller-budget neighbor's witness.
+// With -server the sweep runs remotely through POST /v1/frontier instead,
+// sharing the service's caches and durable store.
 //
 // -parallel sizes the exact branch-and-bound worker pool (0 means
 // GOMAXPROCS) and lets auto race exact against the bi-criteria rounding
@@ -42,6 +50,8 @@ func main() {
 	maxNodes := flag.Int("maxnodes", 0, "search-node budget for exact (0: default)")
 	parallel := flag.Int("parallel", 0, "branch-and-bound workers (0: GOMAXPROCS, 1: sequential)")
 	deadline := flag.Duration("deadline", 0, "wall-time limit (e.g. 30s; 0: none)")
+	frontier := flag.String("frontier", "", "budget sweep lo:hi[:steps]; prints the tradeoff curve")
+	server := flag.String("server", "", "rtserve base URL; runs the -frontier sweep remotely")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -52,6 +62,16 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *frontier != "" {
+		if *budget >= 0 || *target >= 0 {
+			log.Fatal("-frontier supplies its own budgets; drop -budget/-target")
+		}
+		runFrontier(*in, *frontier, *algo, *server, *alpha, *maxNodes, *parallel)
+		return
+	}
+	if *server != "" {
+		log.Fatal("-server currently applies to -frontier sweeps only")
 	}
 	if (*budget < 0) == (*target < 0) {
 		log.Fatal("exactly one of -budget or -target is required")

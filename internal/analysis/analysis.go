@@ -13,9 +13,9 @@
 // ever change.
 //
 // The analyzers themselves live in subpackages (detrange, compiledimmut,
-// ctxpoll, hotalloc, cachekey); internal/analysis/rtlint aggregates them
-// into the suite cmd/rtlint runs.  Each one enforces an invariant the
-// repository's tests can only spot-check at runtime:
+// ctxpoll, hotalloc, cachekey, doccomment); internal/analysis/rtlint
+// aggregates them into the suite cmd/rtlint runs.  Each one enforces an
+// invariant the repository's tests can only spot-check at runtime:
 //
 //	detrange       byte-deterministic output paths never iterate maps
 //	               unordered (the static form of the byte-identical
@@ -30,6 +30,9 @@
 //	               bench gate)
 //	cachekey       every solver.Options field is consumed by CacheKey or
 //	               explicitly excluded (no silent result-cache poisoning)
+//	doccomment     the exported surface of the service-facing packages
+//	               (service, solver, store) carries doc comments (the
+//	               static complement of the docs/API.md coverage tests)
 package analysis
 
 import (

@@ -1,0 +1,135 @@
+// Package doccomment implements the rtlint analyzer that requires doc
+// comments on the exported surface of the repo's service-facing
+// packages.
+//
+// The service (internal/service), the solver API (internal/solver) and
+// the durable store (internal/store) are the packages embedders and
+// wire clients program against: their exported identifiers ARE the
+// contract docs/API.md describes.  An undocumented exported identifier
+// there is a contract nobody wrote down — it drifts silently, and the
+// documentation-coverage tests cannot catch what was never stated.
+//
+// The analyzer flags every exported function, method (of an exported
+// receiver type), type, constant and variable in those packages that
+// carries no doc comment.  Grouped const/var declarations satisfy the
+// requirement with one comment on the group; test files are exempt
+// (they export nothing clients see).  Unlike the other rtlint
+// analyzers there is no waiver marker: the fix is always to write the
+// sentence.
+package doccomment
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the doccomment analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccomment",
+	Doc: "exported identifiers of the service-facing packages must have doc comments\n\n" +
+		"internal/service, internal/solver and internal/store are the\n" +
+		"embedder- and wire-facing contract; an undocumented export there\n" +
+		"is an unwritten contract.",
+	Run: run,
+}
+
+// packages scopes the analyzer: only the service-facing surface is
+// held to the requirement (import paths normalized, so test variants
+// inherit their package's scope).
+var packages = map[string]bool{
+	"repro/internal/service": true,
+	"repro/internal/solver":  true,
+	"repro/internal/store":   true,
+
+	// Golden-test twin, so the corpus exercises the real scope check.
+	"rtlinttest/doccomment": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !packages[pass.PkgPath()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc flags an undocumented exported function or method.  Methods
+// only count when their receiver's base type is exported too: an
+// exported method on an unexported type is not client-reachable surface.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Doc != nil {
+		return
+	}
+	kind := "function"
+	if fd.Recv != nil {
+		base := receiverBase(fd.Recv)
+		if base == "" || !ast.IsExported(base) {
+			return
+		}
+		kind = "method " + base + "."
+	}
+	if kind == "function" {
+		pass.Reportf(fd.Name.Pos(), "exported function "+fd.Name.Name+" has no doc comment")
+		return
+	}
+	pass.Reportf(fd.Name.Pos(), "exported "+kind+fd.Name.Name+" has no doc comment")
+}
+
+// checkGen flags undocumented exported types, constants and variables.
+// A doc comment on the grouped declaration covers every spec inside it.
+func checkGen(pass *analysis.Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && gd.Doc == nil && s.Doc == nil {
+				pass.Reportf(s.Name.Pos(), "exported type "+s.Name.Name+" has no doc comment")
+			}
+		case *ast.ValueSpec:
+			if gd.Doc != nil || s.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported "+kindOf(gd)+" "+name.Name+" has no doc comment")
+				}
+			}
+		}
+	}
+}
+
+// receiverBase returns the name of the receiver's base type.
+func receiverBase(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// kindOf names a GenDecl's token for diagnostics.
+func kindOf(gd *ast.GenDecl) string {
+	return gd.Tok.String() // "const" or "var"
+}

@@ -1,0 +1,12 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/doccomment"
+)
+
+func TestDocComment(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), doccomment.Analyzer, "doccomment")
+}

@@ -1,0 +1,48 @@
+// Package doccomment is the golden corpus for the doccomment analyzer:
+// exported identifiers with and without doc comments, grouped
+// declarations covered by one comment, methods on exported and
+// unexported receivers, and unexported identifiers that never count.
+package doccomment
+
+// Documented is a documented exported type.
+type Documented struct{}
+
+type Orphan struct{} // want `exported type Orphan has no doc comment`
+
+// Describe is a documented exported method.
+func (Documented) Describe() string { return "ok" }
+
+func (Documented) Mystery() {} // want `exported method Documented\.Mystery has no doc comment`
+
+// hidden methods never count, exported name or not.
+type hidden struct{}
+
+// Reached satisfies some interface; the type itself is not surface.
+func (hidden) Reached() {}
+
+func (hidden) Unreached() {} // exported method, unexported receiver: exempt
+
+// Answer is a documented exported function.
+func Answer() int { return 42 }
+
+func Question() {} // want `exported function Question has no doc comment`
+
+// Grouped constants share one doc comment for the block.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const Bare = 7 // want `exported const Bare has no doc comment`
+
+// MaxThings caps things.
+var MaxThings = 10
+
+var Stray int // want `exported var Stray has no doc comment`
+
+var quiet int // unexported: exempt
+
+func internal() {} // unexported: exempt
+
+var _ = quiet
+var _ = internal

@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis/compiledimmut"
 	"repro/internal/analysis/ctxpoll"
 	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/doccomment"
 	"repro/internal/analysis/hotalloc"
 )
 
@@ -20,6 +21,7 @@ func Suite() []*analysis.Analyzer {
 		compiledimmut.Analyzer,
 		ctxpoll.Analyzer,
 		detrange.Analyzer,
+		doccomment.Analyzer,
 		hotalloc.Analyzer,
 	}
 }

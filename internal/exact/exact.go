@@ -76,6 +76,16 @@ type Options struct {
 	// instead of rebuilt (see flow.SolverPool).  Reuse never changes any
 	// result; nil means each worker builds its own.
 	FlowPool *flow.SolverPool
+	// Progress, when non-nil, receives the search's anytime trajectory:
+	// one event when the global lower bound (the floor) is established and
+	// one per incumbent improvement, each carrying the incumbent objective
+	// (-1 before the first solution), the floor (0 before it exists) and
+	// the nodes expanded so far.  Improvements are monotone and finite, so
+	// the callback never rides the per-node hot path; it is invoked under
+	// the incumbent mutex from whichever worker improved, so it must be
+	// quick, non-blocking, and safe for concurrent memory access.  Purely
+	// observational: it never steers the search.
+	Progress func(incumbent, bound float64, nodes int64)
 }
 
 // Stats reports how the search went.
@@ -144,6 +154,9 @@ type shared struct {
 	// pool optionally supplies worker min-flow networks (Options.FlowPool);
 	// nil-safe, see flow.SolverPool.
 	pool *flow.SolverPool
+
+	// progress mirrors Options.Progress; nil when nobody is listening.
+	progress func(incumbent, bound float64, nodes int64)
 }
 
 func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
@@ -171,8 +184,28 @@ func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
 	}
 	if opts != nil {
 		sh.pool = opts.FlowPool
+		sh.progress = opts.Progress
 	}
 	return sh
+}
+
+// emitProgress delivers the current trajectory point to Options.Progress.
+// Callers invoke it only on improvement events (a new floor, a better
+// incumbent), never per node, so its cost is bounded by the number of
+// improvements — at most the objective's value range — not by tree size.
+func (sh *shared) emitProgress() {
+	if sh.progress == nil {
+		return
+	}
+	incumbent := float64(-1)
+	if sh.found.Load() {
+		incumbent = float64(sh.bestVal.Load())
+	}
+	var bound float64
+	if f := sh.floor.Load(); f >= 0 {
+		bound = float64(f)
+	}
+	sh.progress(incumbent, bound, sh.nodes.Load())
 }
 
 // seedIncumbent installs Options.Incumbent as the starting incumbent when
@@ -229,6 +262,10 @@ func (sh *shared) record(value int64, edgeFlow []int64) {
 		sh.bestFlow = append(sh.bestFlow[:0], edgeFlow...)
 		sh.bestVal.Store(value)
 		sh.found.Store(true)
+		// Emit inside the improvement branch, still under mu: delivered
+		// incumbents are strictly decreasing even when several workers
+		// improve concurrently.
+		sh.emitProgress()
 	}
 	sh.mu.Unlock()
 	if (sh.stopAt >= 0 && value <= sh.stopAt) || (sh.floor.Load() >= 0 && value <= sh.floor.Load()) {
@@ -388,8 +425,11 @@ func (w *worker) visit() (candidates []int, ok bool) {
 		// The root assignment's min-flow value bounds every node's from
 		// below (lower bounds only grow down the tree), so it is the
 		// resource floor.  The root is visited first and alone, before the
-		// pool starts, which makes this CAS effectively a write-once.
-		sh.floor.CompareAndSwap(-1, res.Value)
+		// pool starts, which makes this CAS effectively a write-once — and
+		// the one-time bound-established progress event rides its success.
+		if sh.floor.CompareAndSwap(-1, res.Value) {
+			sh.emitProgress()
+		}
 	}
 	if sh.budget >= 0 && res.Value > sh.budget {
 		return nil, false
@@ -703,6 +743,7 @@ func MinMakespanCompiled(ctx context.Context, c *core.Compiled, budget int64, op
 		sh.budgetMin[e] = fn.Eval(budget)
 	}
 	sh.floor.Store(c.MakespanUnder(sh.budgetMin))
+	sh.emitProgress() // bound established, before any incumbent exists
 	sh.seedIncumbent(opts)
 	sh.run(optParallelism(opts))
 	return sh.solution()

@@ -74,6 +74,16 @@ type Options struct {
 	// within the certified envelope — but never the validity of the
 	// reported bounds.
 	WarmFlow []int64
+	// Progress, when non-nil, receives the Frank-Wolfe anytime trajectory
+	// during budget-mode solves: the best relaxation objective so far
+	// (decreasing) and the best certified lower bound so far (increasing),
+	// plus the iteration count.  Events are rate-limited to a fixed number
+	// per solve and delivered only when the pair actually improved, from
+	// the solving goroutine.  MinResource's binary-search probes stay
+	// silent: their per-budget trajectories would interleave
+	// non-monotonically.  Purely observational: it never steers the
+	// iteration.
+	Progress func(objective, bound float64, iters int64)
 }
 
 func (o Options) withDefaults(m int) Options {
@@ -323,6 +333,24 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 	s.seedWarm(budget, o)
 	bestObj := math.Inf(1)
 	bestLB := 0.0
+	// Progress throttle: early iterations improve the objective almost
+	// every step, so cap delivery at ~64 events per solve and skip events
+	// that would repeat an already-sent (objective, bound) pair.
+	emitEvery := o.MaxIters / 64
+	if emitEvery < 1 {
+		emitEvery = 1
+	}
+	lastEmit := -emitEvery
+	sentObj, sentLB := math.Inf(1), math.Inf(-1)
+	emit := func(iters int) {
+		if o.Progress == nil || math.IsInf(bestObj, 1) {
+			return
+		}
+		if bestObj < sentObj || bestLB > sentLB {
+			o.Progress(bestObj, bestLB, int64(iters))
+			sentObj, sentLB = bestObj, bestLB
+		}
+	}
 	// constSum accumulates phi(f_k) - <g_k, f_k> for the averaged
 	// certificate below.
 	constSum := 0.0
@@ -336,6 +364,7 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 					res.RelaxValue = bestObj
 					res.LowerBound = bestLB
 				}
+				emit(k) // final trajectory point of an interrupted solve
 				return err
 			}
 		}
@@ -377,6 +406,10 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 			bestLB = lb
 		}
 		gapOK := bestObj-bestLB <= o.Tol*math.Max(bestLB, 1)
+		if k-lastEmit >= emitEvery {
+			emit(k + 1)
+			lastEmit = k
+		}
 
 		if gapOK || cstar >= 0 {
 			for _, e := range path {
@@ -409,6 +442,7 @@ func (s *Solver) frankWolfe(ctx context.Context, budget int64, o Options, res *R
 	}
 	res.RelaxValue = bestObj
 	res.LowerBound = bestLB
+	emit(res.Iters) // final trajectory point, whatever the throttle skipped
 	return nil
 }
 
@@ -541,6 +575,11 @@ func (s *Solver) MinResource(ctx context.Context, target int64, opt Options) (*R
 	if o.Alpha <= 0 || o.Alpha >= 1 {
 		return nil, fmt.Errorf("relax: alpha %v outside (0,1)", o.Alpha)
 	}
+	// Binary-search probes each run their own Frank-Wolfe at a different
+	// budget; their interleaved trajectories would not be monotone in the
+	// resource objective, so MinResource emits no progress (see
+	// Options.Progress).
+	o.Progress = nil
 
 	// Saturation check: even unlimited resources cannot beat the all-fastest
 	// longest path, and the min-flow at full saturation is the cheapest way

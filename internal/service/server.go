@@ -7,10 +7,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve    one solve, or a batch under {"batch": [...]}
-//	GET  /v1/solvers  registry listing with capabilities
-//	GET  /v1/stats    cache/pool/request counters
-//	GET  /healthz     liveness
+//	POST   /v1/solve            one solve, or a batch under {"batch": [...]}
+//	GET    /v1/solvers          registry listing with capabilities
+//	GET    /v1/stats            cache/pool/request/job counters
+//	GET    /healthz             liveness
+//	POST   /v1/jobs             submit an async solve; 202 + job id
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        poll one job's status and result
+//	DELETE /v1/jobs/{id}        cancel a queued/running job, or forget a done one
+//	GET    /v1/jobs/{id}/events live incumbent/bound/gap trajectory over SSE
+//	GET    /v1/frontier         resource-time tradeoff curve of a stored instance
+//	POST   /v1/frontier         resource-time tradeoff curve of an inline instance
 //
 // Solves are pure functions of (instance, solver, options), so the result
 // cache key is solver.ResultCacheKey: the compiled instance's canonical
@@ -64,6 +71,11 @@ type Config struct {
 	// solve through to disk, and warm-starts solves of near-identical
 	// instances from stored neighbors.
 	StoreDir string
+	// RetainJobs caps how many FINISHED jobs the in-memory job registry
+	// keeps for polling; 0 means the 256 default, < 0 keeps none beyond
+	// the final status read race.  Queued and running jobs are never
+	// evicted.
+	RetainJobs int
 }
 
 // Defaults for Config zero values.
@@ -71,6 +83,7 @@ const (
 	defaultCacheEntries    = 1024
 	defaultCompiledEntries = 512
 	defaultMaxBody         = 8 << 20
+	defaultRetainJobs      = 256
 )
 
 // Server is the solving service.  Create with New, expose via Handler,
@@ -81,12 +94,14 @@ type Server struct {
 	compiled *compiledCache
 	store    *store.Store // nil without Config.StoreDir
 	flowPool *flow.SolverPool
+	jobs     *jobRegistry
 	mux      *http.ServeMux
 	start    time.Time
 	maxBody  int64
 
-	requests atomic.Int64
-	warmHits atomic.Int64
+	requests  atomic.Int64
+	warmHits  atomic.Int64
+	closeOnce sync.Once
 }
 
 // New builds a Server and starts its worker pool.  With Config.StoreDir
@@ -120,6 +135,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	retain := cfg.RetainJobs
+	switch {
+	case retain == 0:
+		retain = defaultRetainJobs
+	case retain < 0:
+		retain = 0
+	}
 	s := &Server{
 		pool:     newPool(cfg.Workers),
 		cache:    newResultCache(entries),
@@ -130,11 +152,51 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		maxBody:  maxBody,
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/solve", s.handleSolve)
-	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.jobs = newJobRegistry(s, len(s.pool.workers), retain)
+	for _, ep := range s.routes() {
+		s.mux.HandleFunc(ep.Pattern, ep.handler)
+	}
 	return s, nil
+}
+
+// Endpoint is one registered route: the ServeMux pattern it is mounted at
+// and the methods its handler accepts.  The list is the single source of
+// truth shared by the mux registration, the documentation-coverage test,
+// and CI's docs-consistency gate.
+type Endpoint struct {
+	// Pattern is the ServeMux pattern (path only; handlers dispatch on
+	// method themselves so unsupported methods get JSON errors).
+	Pattern string
+	// Methods lists the HTTP methods the handler accepts.
+	Methods []string
+
+	handler http.HandlerFunc
+}
+
+// routes lists every endpoint the service serves.  Adding a route here is
+// the only way to register one; the docs gate walks the same list.
+func (s *Server) routes() []Endpoint {
+	return []Endpoint{
+		{Pattern: "/healthz", Methods: []string{"GET"}, handler: s.handleHealthz},
+		{Pattern: "/v1/solve", Methods: []string{"POST"}, handler: s.handleSolve},
+		{Pattern: "/v1/solvers", Methods: []string{"GET"}, handler: s.handleSolvers},
+		{Pattern: "/v1/stats", Methods: []string{"GET"}, handler: s.handleStats},
+		{Pattern: "/v1/jobs", Methods: []string{"GET", "POST"}, handler: s.handleJobs},
+		{Pattern: "/v1/jobs/{id}", Methods: []string{"GET", "DELETE"}, handler: s.handleJob},
+		{Pattern: "/v1/jobs/{id}/events", Methods: []string{"GET"}, handler: s.handleJobEvents},
+		{Pattern: "/v1/frontier", Methods: []string{"GET", "POST"}, handler: s.handleFrontier},
+	}
+}
+
+// Endpoints describes the service's routes without building a server:
+// the documentation tooling's entry point.
+func Endpoints() []Endpoint {
+	var s Server
+	eps := s.routes()
+	for i := range eps {
+		eps[i].handler = nil
+	}
+	return eps
 }
 
 // StoreLoad reports what the durable store found at boot, so embedders
@@ -150,8 +212,15 @@ func (s *Server) StoreLoad() (lr store.LoadReport, ok bool) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pool; in-flight solves finish first.
-func (s *Server) Close() { s.pool.close() }
+// Close cancels outstanding jobs, waits for them to settle, then drains
+// the worker pool; in-flight synchronous solves finish first.  Safe to
+// call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.jobs.close()
+		s.pool.close()
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -196,6 +265,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:    s.cache.stats(),
 		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
+		Jobs:     s.jobs.stats(),
 		Store:    s.storeStats(),
 	})
 }
@@ -219,6 +289,8 @@ type GlobalStats struct {
 	Cache    CacheStats         `json:"cache"`
 	Compiled CompiledCacheStats `json:"compiled"`
 	Pool     PoolStats          `json:"pool"`
+	// Jobs counts async-job activity (see JobsStats).
+	Jobs JobsStats `json:"jobs"`
 	// Store describes the durable store; nil without Config.StoreDir.
 	Store *store.Stats `json:"store,omitempty"`
 }
@@ -231,6 +303,7 @@ func (s *Server) Stats() GlobalStats {
 		Cache:    s.cache.stats(),
 		Compiled: s.compiled.stats(),
 		Pool:     s.pool.stats(),
+		Jobs:     s.jobs.stats(),
 		Store:    s.storeStats(),
 	}
 }
@@ -278,25 +351,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// solveOne validates, hashes, and solves a single request through the
-// cache and pool, returning the response and the HTTP status a
-// single-solve endpoint should use for it (batch items embed the error
-// per item instead).
-func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse, int) {
-	start := time.Now()
-	fail := func(status int, format string, args ...any) (SolveResponse, int) {
-		return SolveResponse{
-			Error:  fmt.Sprintf(format, args...),
-			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
-		}, status
-	}
+// prepared is one decoded, compiled and validated solve request, ready to
+// run — immediately (the synchronous path) or later (queued on a job).
+// Preparing at admission time means a malformed request fails with a 400
+// before it is accepted, never as a dead job.
+type prepared struct {
+	name        string
+	c           *core.Compiled
+	compiledHit bool
+	raw         json.RawMessage
+	opts        solver.Options
+}
 
+// prepare decodes, compiles and validates req.  Any relative deadline in
+// the options is anchored at now, so a job's deadline budget starts at
+// submission, queueing included.
+func (s *Server) prepare(req SolveRequest, now time.Time) (*prepared, error) {
 	name := req.Solver
 	if name == "" {
 		name = "auto"
 	}
 	if len(req.Instance) == 0 {
-		return fail(http.StatusBadRequest, "missing instance")
+		return nil, errors.New("missing instance")
 	}
 	// The compiled-instance cache is consulted on the RAW bytes first: a
 	// hot instance skips JSON decoding, validation, compilation and
@@ -307,21 +383,45 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 	if !compiledHit {
 		var inst core.Instance
 		if err := json.Unmarshal(req.Instance, &inst); err != nil {
-			return fail(http.StatusBadRequest, "invalid instance: %v", err)
+			return nil, fmt.Errorf("invalid instance: %v", err)
 		}
 		c = s.compiled.add(rawKey, core.Compile(&inst))
 	}
-	opts, err := req.Options.Resolve(start)
+	opts, err := req.Options.Resolve(now)
 	if err != nil {
-		return fail(http.StatusBadRequest, "invalid options: %v", err)
+		return nil, fmt.Errorf("invalid options: %v", err)
 	}
 	sv, err := solver.Get(name)
 	if err != nil {
-		return fail(http.StatusBadRequest, "%v", err)
+		return nil, err
 	}
 	if err := solver.ValidateOptions(sv, opts); err != nil {
-		return fail(http.StatusBadRequest, "%v", err)
+		return nil, err
 	}
+	return &prepared{name: name, c: c, compiledHit: compiledHit, raw: req.Instance, opts: opts}, nil
+}
+
+// solveOne validates, hashes, and solves a single request through the
+// cache and pool, returning the response and the HTTP status a
+// single-solve endpoint should use for it (batch items embed the error
+// per item instead).
+func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse, int) {
+	start := time.Now()
+	p, err := s.prepare(req, start)
+	if err != nil {
+		return SolveResponse{
+			Error:  err.Error(),
+			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}, http.StatusBadRequest
+	}
+	return s.solvePrepared(ctx, p, start)
+}
+
+// solvePrepared runs a prepared request through the result cache, the
+// durable store, warm-start seeding and the pool: the shared execution
+// path behind /v1/solve, jobs, and every frontier point.
+func (s *Server) solvePrepared(ctx context.Context, p *prepared, start time.Time) (SolveResponse, int) {
+	name, c, opts := p.name, p.c, p.opts
 
 	key := solver.ResultCacheKey(name, c, opts)
 	var storeHit, warm bool
@@ -339,11 +439,16 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 				storeHit = true
 				return rep, nil
 			}
+		}
+		// An incumbent supplied by the caller (the frontier's
+		// neighbor-chaining) takes precedence; otherwise ask the store for
+		// a sketch-matched donor.
+		if opts.Incumbent == nil && s.store != nil {
 			opts.Incumbent = s.warmSeed(c, name, opts)
-			warm = opts.Incumbent != nil
-			if warm {
-				s.warmHits.Add(1)
-			}
+		}
+		warm = opts.Incumbent != nil
+		if warm {
+			s.warmHits.Add(1)
 		}
 		opts.FlowPool = s.flowPool
 		rep, err := s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
@@ -360,13 +465,14 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 			// an isomorphic earlier request — all encodings share the hash.
 			meta := store.Meta{Hash: c.Hash(), Sketch: c.Sketch(), Solver: name, OptKey: opts.CacheKey()}
 			_ = s.store.PutReport(key, meta, rep)
-			_ = s.store.PutInstance(c.Hash(), c.Sketch(), req.Instance)
+			_ = s.store.PutInstance(c.Hash(), c.Sketch(), p.raw)
 		}
 		return rep, err
 	}
 	var (
 		rep    solver.WireReport
 		cached bool
+		err    error
 	)
 	if opts.Deadline.IsZero() {
 		// Deadline-free requests share work: identical concurrent requests
@@ -397,7 +503,7 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 	resp := SolveResponse{
 		Hash:          c.Hash(),
 		Cached:        cached,
-		CompiledHit:   compiledHit,
+		CompiledHit:   p.compiledHit,
 		StoreHit:      storeHit,
 		Warm:          warm,
 		InstanceNodes: c.Inst.G.NumNodes(),

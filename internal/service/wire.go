@@ -88,6 +88,8 @@ type StatsResponse struct {
 	Cache    CacheStats         `json:"cache"`
 	Compiled CompiledCacheStats `json:"compiled"`
 	Pool     PoolStats          `json:"pool"`
+	// Jobs counts async-job activity (see JobsStats).
+	Jobs JobsStats `json:"jobs"`
 	// Store describes the durable store; absent without -store.
 	Store *store.Stats `json:"store,omitempty"`
 }

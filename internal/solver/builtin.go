@@ -135,6 +135,14 @@ func fromApprox(res *approx.Result, err error) (*Report, error) {
 // returned together with the context error.
 func solveExact(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 	eopts := &exact.Options{MaxNodes: o.MaxNodes, Parallelism: o.Parallelism, Incumbent: o.Incumbent, FlowPool: o.FlowPool}
+	if o.Progress != nil {
+		// Adapt the search's (incumbent, floor, nodes) stream to the
+		// package-neutral ProgressEvent (exact cannot import solver).
+		progress := o.Progress
+		eopts.Progress = func(incumbent, bound float64, nodes int64) {
+			progress(ProgressEvent{Incumbent: incumbent, Bound: bound, Nodes: nodes})
+		}
+	}
 	var (
 		sol   core.Solution
 		stats exact.Stats

@@ -76,9 +76,10 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 				t.Errorf("Options.%s: no perturbation strategy; extend the test", f.Name)
 			}
 			continue
-		case reflect.Slice, reflect.Ptr:
-			// Incumbent / FlowPool: reference-typed hints cannot be
-			// rendered into a canonical key, so they must be excluded.
+		case reflect.Slice, reflect.Ptr, reflect.Func:
+			// Incumbent / FlowPool / Progress: reference-typed hints and
+			// callbacks cannot be rendered into a canonical key, so they
+			// must be excluded.
 			if !excluded {
 				t.Errorf("Options.%s: reference-typed field must be in cacheKeyExcluded", f.Name)
 			}

@@ -24,6 +24,18 @@ import (
 func solveFrankWolfe(ctx context.Context, c *core.Compiled, o Options) (*Report, error) {
 	s := relax.NewSolverCompiled(c)
 	opt := relax.Options{Alpha: o.Alpha, WarmFlow: o.Incumbent}
+	if o.Progress != nil {
+		// Adapt the Frank-Wolfe (objective, bound, iters) stream to the
+		// package-neutral ProgressEvent (relax cannot import solver).  The
+		// fractional objective plays the incumbent role: it upper-bounds
+		// what the rounded solution's certificate is measured against and
+		// decreases monotonically, so the streamed gap shrinks exactly like
+		// the exact search's.
+		progress := o.Progress
+		opt.Progress = func(objective, bound float64, iters int64) {
+			progress(ProgressEvent{Incumbent: objective, Bound: bound, Nodes: iters})
+		}
+	}
 	var (
 		res *relax.Result
 		err error

@@ -53,6 +53,7 @@ const (
 	MinResource
 )
 
+// String names the objective for reports and wire forms.
 func (o Objective) String() string {
 	if o == MinResource {
 		return "min-resource"
@@ -144,6 +145,15 @@ type Options struct {
 	// network instead of rebuilding it.  Purely an allocation/latency
 	// knob; results never depend on it.
 	FlowPool *flow.SolverPool
+	// Progress, when non-nil, receives anytime-trajectory events from
+	// solvers that support them: the exact search emits on every incumbent
+	// improvement and the Frank-Wolfe relaxation on bound tightening, both
+	// rate-limited by construction (improvements are monotone) so the
+	// callback never sits on a per-node hot path.  It may be invoked from
+	// solver worker goroutines concurrently with the solve; implementations
+	// must be safe for concurrent use and must not block.  Purely
+	// observational: results never depend on it.
+	Progress ProgressFunc
 
 	// spTree and spLeafArc carry an already-recognized series-parallel
 	// decomposition from the auto router to the spdp solver, saving a
@@ -194,6 +204,36 @@ func WithIncumbent(f []int64) Option { return func(o *Options) { o.Incumbent = f
 // WithFlowPool shares min-flow networks across solves (see
 // Options.FlowPool).
 func WithFlowPool(p *flow.SolverPool) Option { return func(o *Options) { o.FlowPool = p } }
+
+// WithProgress subscribes fn to the solve's anytime trajectory (see
+// Options.Progress).  fn may be called from solver goroutines and must be
+// safe for concurrent use.
+func WithProgress(fn ProgressFunc) Option { return func(o *Options) { o.Progress = fn } }
+
+// ProgressEvent is one point of a solve's anytime trajectory: the best
+// feasible objective found so far and the best certified lower bound, in
+// the units of the active objective (makespan for min-makespan solves,
+// resources for min-resource).  Incumbent is -1 until a first feasible
+// solution exists; Bound is 0 until a first certificate exists.  Within
+// one solve, Incumbent never increases and Bound never decreases across
+// the delivered events, so the optimality gap shrinks monotonically.
+type ProgressEvent struct {
+	// Incumbent is the objective value of the best feasible solution found
+	// so far, or -1 when none exists yet.
+	Incumbent float64
+	// Bound is the best certified lower bound on the optimum so far; 0
+	// when no certificate exists yet.
+	Bound float64
+	// Nodes counts the search work done when the event was emitted
+	// (branch-and-bound nodes, Frank-Wolfe iterations).
+	Nodes int64
+}
+
+// ProgressFunc receives ProgressEvents during a solve.  Implementations
+// must be safe for concurrent use and must return quickly: solvers invoke
+// it inline (on improvement paths, never per node), so a blocking callback
+// stalls the search.
+type ProgressFunc func(ProgressEvent)
 
 // NewOptions resolves functional options onto the defaults
 // (no budget, no target, alpha 1/2, unlimited nodes, no deadline).

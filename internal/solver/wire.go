@@ -84,6 +84,7 @@ var cacheKeyExcluded = map[string]string{
 	"raceRival": "auto-router internals; the raced result is keyed under the winning solver's own name",
 	"Incumbent": "warm-start hint; validated and certificate-recomputed, it can change wall time but never a complete result, and repeats stay byte-stable because the first-computed report is what every later hit returns",
 	"FlowPool":  "allocation plumbing; pooled networks are fully rewritten per solve, so results never depend on which pool (if any) served them",
+	"Progress":  "observational callback; it receives the trajectory but never steers the search, so results never depend on it",
 }
 
 // CacheKey renders the result-relevant options canonically, for use in
