@@ -6,6 +6,14 @@
 //
 //	rtserve -addr :8080 -workers 8 -cache 4096 -compiled 512
 //
+// Cluster mode joins a static fleet that solves each distinct instance
+// once cluster-wide (requests are routed to an owner node by rendezvous
+// hashing over the canonical instance hash; an unreachable owner
+// degrades to a local solve):
+//
+//	rtserve -addr :8080 -self http://node1:8080 \
+//	  -peers http://node1:8080,http://node2:8080,http://node3:8080
+//
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/solvers
 //	curl -X POST localhost:8080/v1/solve \
@@ -31,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,18 +56,33 @@ func main() {
 	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0: 8 MiB default)")
 	storeDir := flag.String("store", "", "durable solve store directory (empty: in-memory only)")
 	retainJobs := flag.Int("jobs", 0, "finished async jobs retained for polling (0: 256 default, -1: none)")
+	self := flag.String("self", "", "this node's base URL in cluster mode (scheme://host:port)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; with -self, enables cluster mode")
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
-		Workers:         *workers,
-		CacheEntries:    *cache,
-		CompiledEntries: *compiled,
-		MaxBodyBytes:    *maxBody,
-		StoreDir:        *storeDir,
-		RetainJobs:      *retainJobs,
-	})
+	opts := []service.Option{
+		service.WithWorkers(*workers),
+		service.WithCacheEntries(*cache),
+		service.WithCompiledEntries(*compiled),
+		service.WithMaxBodyBytes(*maxBody),
+		service.WithStore(*storeDir),
+		service.WithRetainJobs(*retainJobs),
+	}
+	if *self != "" || *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		opts = append(opts, service.WithPeers(*self, peerList...))
+	}
+	svc, err := service.New(opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *self != "" {
+		log.Printf("cluster mode: self %s, %d peers", *self, len(strings.Split(*peers, ",")))
 	}
 	if lr, ok := svc.StoreLoad(); ok {
 		log.Printf("store %s: %d reports, %d instances loaded; %d corrupt, %d foreign-version skipped",

@@ -2,7 +2,6 @@ package rtt
 
 import (
 	"repro/internal/dag"
-	"repro/internal/scenario"
 )
 
 // Graph re-exports the DAG builder so callers can construct instances.
@@ -10,16 +9,3 @@ type Graph = dag.Graph
 
 // NewGraph returns an empty directed multigraph.
 func NewGraph() *Graph { return dag.New() }
-
-// Generator re-exports the seeded workload generator, which now lives in
-// the scenario catalog (internal/scenario absorbed the former internal/gen).
-//
-// Deprecated: prefer building instances from named scenario Specs
-// (scenario.DefaultCorpus and the family catalog); the raw generator
-// remains for callers composing their own shapes.
-type Generator = scenario.Gen
-
-// NewGenerator returns a deterministic workload generator.
-//
-// Deprecated: see Generator.
-func NewGenerator(seed int64) *Generator { return scenario.NewGen(seed) }

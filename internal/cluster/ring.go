@@ -1,0 +1,140 @@
+// Package cluster is the static-peer-list network layer under rtserve's
+// cluster mode: rendezvous hashing that assigns every canonical instance
+// hash to exactly one owner node, and a small retrying HTTP client for
+// the versioned internal peer API (/internal/v1/*).
+//
+// The design goal is that a fleet of rtserve processes compiles and
+// solves each distinct instance ONCE cluster-wide: every node routes a
+// request to the same owner (ownership is a pure function of the peer
+// list and the instance's canonical hash), the owner's existing
+// single-flight/cache/store layers deduplicate everything that lands on
+// it, and a node that cannot reach the owner degrades to a local solve
+// instead of an outage.  Membership is static by construction — the
+// peer list is configuration, not gossip — which keeps ownership
+// deterministic and testable; dynamic membership can layer on top
+// later without changing the hashing contract.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// ringVersion tags the rendezvous score preimage, so the ownership
+// function can evolve without two releases silently disagreeing about
+// who owns what (the same reasoning as core's canonical-hash version
+// tag).  Changing it reshuffles every assignment; the routing golden
+// test exists to make that an explicit, reviewed event.
+const ringVersion = "rtt-ring-v1"
+
+// Ring is an immutable static peer list with rendezvous (highest-random-
+// weight) hashing.  Every node of a cluster builds its Ring from the
+// same peer list, so every node computes the same owner for any hash
+// without coordination.  Rendezvous hashing is chosen over a hashed
+// token ring for its minimal-disruption property: removing one peer
+// reassigns only the hashes that peer owned, never shuffling ownership
+// among the survivors — exactly what keeps caches warm across a node
+// loss.
+type Ring struct {
+	self  string
+	peers []string // normalized, deduplicated, sorted; includes self
+}
+
+// NewRing validates and normalizes the peer list and this node's own
+// address within it.  Peers are absolute http(s) URLs; self is added to
+// the list if absent, and the stored list is deduplicated and sorted so
+// two nodes configured with the same members in any order agree on
+// ownership.  A Ring with only self is legal: it owns everything, which
+// makes single-node deployments a degenerate cluster rather than a
+// special case.
+func NewRing(self string, peers []string) (*Ring, error) {
+	nself, err := normalizePeer(self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: invalid self address %q: %v", self, err)
+	}
+	seen := map[string]bool{nself: true}
+	list := []string{nself}
+	for _, p := range peers {
+		np, err := normalizePeer(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: invalid peer address %q: %v", p, err)
+		}
+		if !seen[np] {
+			seen[np] = true
+			list = append(list, np)
+		}
+	}
+	sort.Strings(list)
+	return &Ring{self: nself, peers: list}, nil
+}
+
+// normalizePeer canonicalizes one peer address: an absolute http or
+// https URL with a host, no trailing slash, no path/query/fragment
+// beyond "/".  Normalizing here means "http://a:1/" and "http://a:1"
+// configured on different nodes still hash identically.
+func normalizePeer(addr string) (string, error) {
+	u, err := url.Parse(strings.TrimSpace(addr))
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("scheme %q is not http or https", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("missing host")
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("peer addresses are scheme://host[:port] only")
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// Self returns this node's normalized address.
+func (r *Ring) Self() string { return r.self }
+
+// Peers returns the normalized, sorted peer list (self included).  The
+// returned slice is shared and must not be mutated.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Size returns the number of cluster members.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// Owner returns the peer that owns hash: the member with the highest
+// rendezvous score.  Ownership is a pure function of (peer list, hash)
+// — every member computes the same answer — and scores break ties by
+// smaller peer address, so the result is total even under score
+// collisions.
+func (r *Ring) Owner(hash string) string {
+	best := r.peers[0]
+	bestScore := score(best, hash)
+	for _, p := range r.peers[1:] {
+		if s := score(p, hash); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// IsOwner reports whether this node owns hash.
+func (r *Ring) IsOwner(hash string) bool { return r.Owner(hash) == r.self }
+
+// score is the rendezvous weight of (peer, hash): the first 8 bytes of
+// SHA-256 over the version-tagged pair, read big-endian.  SHA-256 keeps
+// the assignment uniform (each peer owns ~1/n of hash space) and makes
+// the score independent of Go's runtime hash seeds, so it is stable
+// across processes, restarts and releases — the property the routing
+// golden test pins.
+func score(peer, hash string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(ringVersion))
+	h.Write([]byte{'|'})
+	h.Write([]byte(peer))
+	h.Write([]byte{'|'})
+	h.Write([]byte(hash))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+func mustRing(t *testing.T, self string, peers ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(self, peers)
+	if err != nil {
+		t.Fatalf("NewRing(%q, %v): %v", self, peers, err)
+	}
+	return r
+}
+
+func TestNewRingNormalizesAndSorts(t *testing.T) {
+	r := mustRing(t, "http://b:2",
+		"http://a:1/", " http://c:3 ", "http://b:2", "http://a:1")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if got := r.Peers(); len(got) != len(want) {
+		t.Fatalf("peers = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("peers = %v, want %v", got, want)
+			}
+		}
+	}
+	if r.Self() != "http://b:2" {
+		t.Fatalf("self = %q", r.Self())
+	}
+	if r.Size() != 3 {
+		t.Fatalf("size = %d", r.Size())
+	}
+}
+
+func TestNewRingAddsSelfIfAbsent(t *testing.T) {
+	r := mustRing(t, "http://self:1", "http://other:2")
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (self added)", r.Size())
+	}
+}
+
+func TestNewRingRejectsBadAddresses(t *testing.T) {
+	bad := []string{
+		"",
+		"localhost:8080",     // no scheme
+		"ftp://host:1",       // wrong scheme
+		"http://",            // no host
+		"http://host:1/path", // path
+		"http://host:1?q=1",  // query
+		"http://host:1#frag", // fragment
+		"http://host:1/x/y",  // deep path
+	}
+	for _, addr := range bad {
+		if _, err := NewRing("http://self:1", []string{addr}); err == nil {
+			t.Errorf("NewRing accepted bad peer %q", addr)
+		}
+		if _, err := NewRing(addr, nil); err == nil {
+			t.Errorf("NewRing accepted bad self %q", addr)
+		}
+	}
+}
+
+// TestOwnerAgreesAcrossMembers is the core cluster contract: every
+// member, given the same peer set in any order, computes the same owner
+// for any hash.
+func TestOwnerAgreesAcrossMembers(t *testing.T) {
+	peers := []string{"http://n1:1", "http://n2:1", "http://n3:1"}
+	rings := []*Ring{
+		mustRing(t, peers[0], peers[1], peers[2]),
+		mustRing(t, peers[1], peers[2], peers[0]),
+		mustRing(t, peers[2], peers[0], peers[1]),
+	}
+	for i := 0; i < 64; i++ {
+		hash := fmt.Sprintf("hash-%03d", i)
+		want := rings[0].Owner(hash)
+		for _, r := range rings[1:] {
+			if got := r.Owner(hash); got != want {
+				t.Fatalf("owner(%q) disagrees: %q vs %q", hash, got, want)
+			}
+		}
+		owners := 0
+		for _, r := range rings {
+			if r.IsOwner(hash) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("hash %q has %d owners, want exactly 1", hash, owners)
+		}
+	}
+}
+
+// TestOwnerMinimalDisruption checks the rendezvous property the design
+// leans on: dropping one peer reassigns only that peer's hashes, never
+// shuffling ownership among survivors.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	all := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	full := mustRing(t, all[0], all[1:]...)
+	reduced := mustRing(t, all[0], all[1], all[2]) // n4 removed
+	moved := 0
+	for i := 0; i < 256; i++ {
+		hash := fmt.Sprintf("hash-%04d", i)
+		before := full.Owner(hash)
+		after := reduced.Owner(hash)
+		if before == all[3] {
+			moved++
+			continue // was owned by the removed peer; must move somewhere
+		}
+		if before != after {
+			t.Fatalf("hash %q moved %q -> %q though its owner survived", hash, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned nothing out of 256 hashes; distribution is broken")
+	}
+}
+
+// TestOwnerDistribution sanity-checks uniformity: with 4 peers and 400
+// hashes, no peer should own a wildly disproportionate share.
+func TestOwnerDistribution(t *testing.T) {
+	peers := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	r := mustRing(t, peers[0], peers[1:]...)
+	counts := map[string]int{}
+	const n = 400
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("hash-%04d", i))]++
+	}
+	for _, p := range peers {
+		c := counts[p]
+		if c < n/10 || c > n/2 {
+			t.Fatalf("peer %s owns %d/%d hashes; distribution too skewed: %v", p, c, n, counts)
+		}
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := mustRing(t, "http://only:1")
+	for i := 0; i < 16; i++ {
+		if !r.IsOwner(fmt.Sprintf("h%d", i)) {
+			t.Fatal("single-node ring must own every hash")
+		}
+	}
+}
+
+// routingGolden pins owner assignment for every committed corpus hash
+// across peer-list sizes 1..5.  A change here means the ownership
+// function changed, which reshuffles every production cluster's caches
+// — that must be an explicit, reviewed event (regenerate with
+// `go test ./internal/cluster -run TestRoutingGolden -update`).
+type routingGolden struct {
+	RingVersion string                       `json:"ring_version"`
+	Peers       []string                     `json:"peers"`
+	Owners      map[string]map[string]string `json:"owners"` // size -> hash -> owner
+}
+
+// goldenPeers are the synthetic addresses the golden fixes assignments
+// against; size-n rings use the first n.
+var goldenPeers = []string{
+	"http://node1:9001",
+	"http://node2:9002",
+	"http://node3:9003",
+	"http://node4:9004",
+	"http://node5:9005",
+}
+
+func corpusHashes(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus glob: %v (found %d)", err, len(paths))
+	}
+	sort.Strings(paths)
+	hashes := make([]string, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Hash string `json:"hash"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if doc.Hash == "" {
+			t.Fatalf("%s: no hash field", p)
+		}
+		hashes = append(hashes, doc.Hash)
+	}
+	return hashes
+}
+
+func TestRoutingGolden(t *testing.T) {
+	hashes := corpusHashes(t)
+	got := routingGolden{
+		RingVersion: ringVersion,
+		Peers:       goldenPeers,
+		Owners:      map[string]map[string]string{},
+	}
+	for size := 1; size <= len(goldenPeers); size++ {
+		r := mustRing(t, goldenPeers[0], goldenPeers[1:size]...)
+		owners := map[string]string{}
+		for _, h := range hashes {
+			owners[h] = r.Owner(h)
+		}
+		got.Owners[fmt.Sprintf("%d", size)] = owners
+	}
+
+	goldenPath := filepath.Join("testdata", "routing_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d hashes x %d sizes)", goldenPath, len(hashes), len(goldenPeers))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want routingGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.RingVersion != got.RingVersion {
+		t.Fatalf("ring version changed %q -> %q: ownership reshuffle; regenerate golden deliberately",
+			want.RingVersion, got.RingVersion)
+	}
+	for size, owners := range got.Owners {
+		for hash, owner := range owners {
+			if w := want.Owners[size][hash]; w != owner {
+				t.Errorf("size %s hash %s: owner %q, golden %q — routing changed", size, hash, owner, w)
+			}
+		}
+		if len(want.Owners[size]) != len(owners) {
+			t.Errorf("size %s: golden has %d hashes, corpus has %d (regenerate with -update)",
+				size, len(want.Owners[size]), len(owners))
+		}
+	}
+}

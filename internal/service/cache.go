@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"strings"
 	"sync"
 
 	"repro/internal/solver"
@@ -158,6 +159,26 @@ func (c *resultCache) put(key string, rep solver.WireReport) {
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// resultsForHash counts cached reports whose key embeds the canonical
+// instance hash (keys are "solver|hash|optkey"), across all solvers and
+// options.  It neither recences LRU entries nor counts a hit or miss:
+// the probe endpoint must observe the cache, not perturb it.
+func (c *resultCache) resultsForHash(hash string) int {
+	if hash == "" {
+		return 0
+	}
+	needle := "|" + hash + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if strings.Contains(el.Value.(*cacheEntry).key, needle) {
+			n++
+		}
+	}
+	return n
 }
 
 // stats snapshots the counters.

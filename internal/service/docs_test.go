@@ -189,7 +189,7 @@ func TestAPIDocExamplesReplay(t *testing.T) {
 	if len(examples) < 12 {
 		t.Fatalf("found only %d replay examples; the reference should exercise every endpoint", len(examples))
 	}
-	_, ts := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	_, ts := newTestServer(t, WithWorkers(2), WithStore(t.TempDir()))
 
 	for _, ex := range examples {
 		call := parseCurl(t, ex, ts.URL)
@@ -224,11 +224,16 @@ func TestAPIDocExamplesReplay(t *testing.T) {
 			t.Fatalf("docs/API.md:%d: response is not JSON: %v\n%s", ex.line, err, body)
 		}
 		if ex.wantStatus >= 400 {
-			var envelope struct {
-				Error string `json:"error"`
+			// Every non-2xx answer carries the unified envelope: a code from
+			// the documented vocabulary and a human message.
+			var envelope errorResponse
+			if err := json.Unmarshal(body, &envelope); err != nil ||
+				envelope.Error.Code == "" || envelope.Error.Message == "" {
+				t.Fatalf("docs/API.md:%d: error response lacks the unified error envelope: %s", ex.line, body)
 			}
-			if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == "" {
-				t.Fatalf("docs/API.md:%d: error response lacks the error envelope: %s", ex.line, body)
+			if envelope.Error.Code != errCodeFor(ex.wantStatus) {
+				t.Fatalf("docs/API.md:%d: error code %q does not match status %d (%q)",
+					ex.line, envelope.Error.Code, ex.wantStatus, errCodeFor(ex.wantStatus))
 			}
 		}
 	}

@@ -77,7 +77,7 @@ func checkCurve(t *testing.T, fr FrontierResponse) {
 // monotone makespans, and neighbor warm-starting on every point after the
 // first.
 func TestFrontierSweep(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts := newTestServer(t, WithWorkers(2))
 	fr, status := postFrontier(t, ts, frontierBody(t, 51, `"budget_min":0,"budget_max":14,"steps":8`))
 	if status != http.StatusOK {
 		t.Fatalf("status %d", status)
@@ -110,7 +110,7 @@ func TestFrontierSweep(t *testing.T) {
 // TestFrontierExplicitBudgets pins the list form: deduplicated, sorted
 // ascending regardless of request order.
 func TestFrontierExplicitBudgets(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts := newTestServer(t, WithWorkers(2))
 	fr, status := postFrontier(t, ts, frontierBody(t, 52, `"budgets":[9,0,3,9,6]`))
 	if status != http.StatusOK {
 		t.Fatalf("status %d", status)
@@ -130,7 +130,7 @@ func TestFrontierExplicitBudgets(t *testing.T) {
 // from the durable store.
 func TestFrontierStoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	svc, ts := newTestServer(t, Config{Workers: 2, StoreDir: dir})
+	svc, ts := newTestServer(t, WithWorkers(2), WithStore(dir))
 
 	body := frontierBody(t, 53, `"budget_min":0,"budget_max":10,"steps":6`)
 	fr, status := postFrontier(t, ts, body)
@@ -157,7 +157,7 @@ func TestFrontierStoreRoundTrip(t *testing.T) {
 	svc.Close()
 
 	// Restart: every point answers from the durable store, no solving.
-	_, ts2 := newTestServer(t, Config{Workers: 2, StoreDir: dir})
+	_, ts2 := newTestServer(t, WithWorkers(2), WithStore(dir))
 	fr2, status := postFrontier(t, ts2, body)
 	if status != http.StatusOK {
 		t.Fatalf("restart sweep status %d", status)
@@ -175,7 +175,7 @@ func TestFrontierStoreRoundTrip(t *testing.T) {
 // TestFrontierAsJob runs a sweep as an async job: one progress event per
 // point, the curve attached to the final status.
 func TestFrontierAsJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts := newTestServer(t, WithWorkers(2))
 	inst, err := json.Marshal(scenario.NewGen(54).StepInstance(3, 3, 2, 4, 30, 4))
 	if err != nil {
 		t.Fatal(err)
@@ -214,7 +214,7 @@ func TestFrontierAsJob(t *testing.T) {
 
 // TestFrontierRejections pins the request-validation surface.
 func TestFrontierRejections(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	_, ts := newTestServer(t, WithWorkers(1))
 	cases := map[string]struct {
 		body string
 		want int
@@ -234,7 +234,7 @@ func TestFrontierRejections(t *testing.T) {
 	}
 
 	// Unknown hash on a store-backed server is a 404, not a 400.
-	_, ts2 := newTestServer(t, Config{Workers: 1, StoreDir: t.TempDir()})
+	_, ts2 := newTestServer(t, WithWorkers(1), WithStore(t.TempDir()))
 	resp, err := http.Get(ts2.URL + "/v1/frontier?hash=0000&budget_max=5")
 	if err != nil {
 		t.Fatal(err)

@@ -588,7 +588,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	jb, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErrorDetail(w, http.StatusNotFound, r.PathValue("id"), "unknown job %q", r.PathValue("id"))
 		return
 	}
 	switch r.Method {
@@ -619,7 +619,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	jb, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErrorDetail(w, http.StatusNotFound, r.PathValue("id"), "unknown job %q", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)

@@ -1,0 +1,56 @@
+package service
+
+// Functional options for New.  The Config struct-literal surface grew a
+// field per PR; options keep call sites source-compatible as knobs are
+// added (a new option is a new function, never a changed signature) and
+// make the common cases read as what they are: New(WithWorkers(4),
+// WithStore(dir)).
+
+// Option configures a Server under construction; apply with New.
+type Option func(*Config)
+
+// WithWorkers sizes the solve pool; <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithCacheEntries caps the result LRU; 0 means the 1024 default, < 0
+// disables caching (single-flight de-duplication stays on).
+func WithCacheEntries(n int) Option {
+	return func(c *Config) { c.CacheEntries = n }
+}
+
+// WithCompiledEntries caps the compiled-instance LRU; 0 means the 512
+// default, < 0 disables it.  See Config.CompiledEntries for the memory
+// budget this cap implies.
+func WithCompiledEntries(n int) Option {
+	return func(c *Config) { c.CompiledEntries = n }
+}
+
+// WithMaxBodyBytes caps request bodies; <= 0 means the 8 MiB default.
+func WithMaxBodyBytes(n int64) Option {
+	return func(c *Config) { c.MaxBodyBytes = n }
+}
+
+// WithStore roots the durable solve store at dir; empty keeps the
+// service purely in-memory.  See Config.StoreDir.
+func WithStore(dir string) Option {
+	return func(c *Config) { c.StoreDir = dir }
+}
+
+// WithRetainJobs caps how many finished jobs stay pollable; 0 means the
+// 256 default, < 0 keeps none.  See Config.RetainJobs.
+func WithRetainJobs(n int) Option {
+	return func(c *Config) { c.RetainJobs = n }
+}
+
+// WithPeers enables cluster mode: self is this node's advertised base
+// URL (scheme://host[:port]) and peers the full static membership (self
+// is added if absent).  Every member must be configured with the same
+// membership.  See Config.Self and Config.Peers.
+func WithPeers(self string, peers ...string) Option {
+	return func(c *Config) {
+		c.Self = self
+		c.Peers = peers
+	}
+}

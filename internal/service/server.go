@@ -19,6 +19,16 @@
 //	GET    /v1/frontier         resource-time tradeoff curve of a stored instance
 //	POST   /v1/frontier         resource-time tradeoff curve of an inline instance
 //
+// Peer endpoints (the versioned internal cluster API; always mounted,
+// meaningful under Config.Peers):
+//
+//	POST   /internal/v1/solve        owner-side solve of a forwarded request (never re-forwards)
+//	GET    /internal/v1/probe/{hash} what this node holds for a canonical hash
+//	GET    /internal/v1/health       liveness plus ring membership
+//
+// Every endpoint, public and internal, answers non-2xx with the unified
+// Error envelope ({"error": {code, message, detail}}).
+//
 // Solves are pure functions of (instance, solver, options), so the result
 // cache key is solver.ResultCacheKey: the compiled instance's canonical
 // hash plus the solver name and Options.CacheKey; identical requests —
@@ -40,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/solver"
@@ -76,6 +87,15 @@ type Config struct {
 	// the final status read race.  Queued and running jobs are never
 	// evicted.
 	RetainJobs int
+	// Self and Peers enable cluster mode (see internal/cluster): Self is
+	// this node's advertised base URL (scheme://host[:port]) and Peers is
+	// the full static membership; Self is added to Peers if absent.  Both
+	// empty keeps the node standalone.  Every member must be configured
+	// with the same membership, or nodes will disagree about ownership
+	// and dedup degrades to per-disagreement duplicate solves (results
+	// stay correct — solves are pure).
+	Self  string
+	Peers []string
 }
 
 // Defaults for Config zero values.
@@ -95,6 +115,7 @@ type Server struct {
 	store    *store.Store // nil without Config.StoreDir
 	flowPool *flow.SolverPool
 	jobs     *jobRegistry
+	cluster  *clusterState // nil without Config.Peers/Self
 	mux      *http.ServeMux
 	start    time.Time
 	maxBody  int64
@@ -104,12 +125,27 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New builds a Server and starts its worker pool.  With Config.StoreDir
-// set it also opens the durable store; an unusable store directory is an
-// error — a persistence-configured service must never silently start
-// empty (corrupt individual entries are skipped and counted instead, see
-// StoreLoad).
-func New(cfg Config) (*Server, error) {
+// New builds a Server from functional options and starts its worker
+// pool.  With WithStore it also opens the durable store; an unusable
+// store directory is an error — a persistence-configured service must
+// never silently start empty (corrupt individual entries are skipped and
+// counted instead, see StoreLoad).  With WithPeers the server joins a
+// static cluster (see internal/cluster).
+func New(opts ...Option) (*Server, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig builds a Server from a Config struct literal.
+//
+// Deprecated: construct with New and functional options (WithWorkers,
+// WithStore, WithPeers, ...), which stay source-compatible as knobs are
+// added.  NewFromConfig remains for one release for embedders still on
+// the PR 3-8 Config surface.
+func NewFromConfig(cfg Config) (*Server, error) {
 	entries := cfg.CacheEntries
 	switch {
 	case entries == 0:
@@ -142,12 +178,24 @@ func New(cfg Config) (*Server, error) {
 	case retain < 0:
 		retain = 0
 	}
+	var cl *clusterState
+	if cfg.Self != "" || len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, errors.New("service: cluster mode needs a self address alongside the peer list")
+		}
+		ring, err := cluster.NewRing(cfg.Self, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		cl = newClusterState(ring)
+	}
 	s := &Server{
 		pool:     newPool(cfg.Workers),
 		cache:    newResultCache(entries),
 		compiled: newCompiledCache(compiledEntries),
 		store:    st,
 		flowPool: flow.NewSolverPool(0),
+		cluster:  cl,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		maxBody:  maxBody,
@@ -185,6 +233,9 @@ func (s *Server) routes() []Endpoint {
 		{Pattern: "/v1/jobs/{id}", Methods: []string{"GET", "DELETE"}, handler: s.handleJob},
 		{Pattern: "/v1/jobs/{id}/events", Methods: []string{"GET"}, handler: s.handleJobEvents},
 		{Pattern: "/v1/frontier", Methods: []string{"GET", "POST"}, handler: s.handleFrontier},
+		{Pattern: "/internal/v1/solve", Methods: []string{"POST"}, handler: s.handleInternalSolve},
+		{Pattern: "/internal/v1/probe/{hash}", Methods: []string{"GET"}, handler: s.handleInternalProbe},
+		{Pattern: "/internal/v1/health", Methods: []string{"GET"}, handler: s.handleInternalHealth},
 	}
 }
 
@@ -219,6 +270,9 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.jobs.close()
 		s.pool.close()
+		if s.cluster != nil {
+			s.cluster.client.CloseIdle()
+		}
 	})
 }
 
@@ -230,8 +284,37 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// errCodeFor maps an HTTP status to the envelope's stable machine code.
+func errCodeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// writeError answers with the unified Error envelope; the machine code
+// is derived from the status so handler call sites state each failure
+// once.  Use writeErrorDetail to attach an identifier.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeErrorDetail(w, status, "", format, args...)
+}
+
+// writeErrorDetail is writeError with the envelope's detail field set
+// (an offending identifier such as a job id or instance hash).
+func writeErrorDetail(w http.ResponseWriter, status int, detail, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: Error{
+		Code:    errCodeFor(status),
+		Message: fmt.Sprintf(format, args...),
+		Detail:  detail,
+	}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -267,6 +350,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pool:     s.pool.stats(),
 		Jobs:     s.jobs.stats(),
 		Store:    s.storeStats(),
+		Cluster:  s.clusterStats(),
 	})
 }
 
@@ -340,15 +424,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				resp.Results[i], _ = s.solveOne(r.Context(), env.Batch[i])
+				resp.Results[i], _ = s.solveOne(r.Context(), env.Batch[i], false)
 			}(i)
 		}
 		wg.Wait()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp, status := s.solveOne(r.Context(), env.SolveRequest)
-	writeJSON(w, status, resp)
+	resp, status := s.solveOne(r.Context(), env.SolveRequest, false)
+	writeSolve(w, resp, status)
+}
+
+// writeSolve answers a single (non-batch) solve: the SolveResponse on
+// success — including partial deadline-interrupted results, which are
+// answers — and the unified Error envelope otherwise.  When status is
+// not 2xx the response carries no report by construction (solvePrepared
+// maps every partial result to 200), so the envelope loses nothing.
+func writeSolve(w http.ResponseWriter, resp SolveResponse, status int) {
+	if status < http.StatusBadRequest {
+		writeJSON(w, status, resp)
+		return
+	}
+	writeErrorDetail(w, status, resp.Hash, "%s", resp.Error)
 }
 
 // prepared is one decoded, compiled and validated solve request, ready to
@@ -404,8 +501,12 @@ func (s *Server) prepare(req SolveRequest, now time.Time) (*prepared, error) {
 // solveOne validates, hashes, and solves a single request through the
 // cache and pool, returning the response and the HTTP status a
 // single-solve endpoint should use for it (batch items embed the error
-// per item instead).
-func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse, int) {
+// per item instead).  In cluster mode a request whose hash belongs to
+// another node is forwarded to its owner first; viaPeer marks requests
+// that already arrived over /internal/v1/solve, which must solve here —
+// forwarding them again could bounce between nodes that disagree about
+// membership (forward-once invariant).
+func (s *Server) solveOne(ctx context.Context, req SolveRequest, viaPeer bool) (SolveResponse, int) {
 	start := time.Now()
 	p, err := s.prepare(req, start)
 	if err != nil {
@@ -414,7 +515,18 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest) (SolveResponse,
 			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
 		}, http.StatusBadRequest
 	}
-	return s.solvePrepared(ctx, p, start)
+	if s.cluster != nil && !viaPeer {
+		if resp, status, ok := s.cluster.forward(ctx, req, p, start); ok {
+			return resp, status
+		}
+	}
+	resp, status := s.solvePrepared(ctx, p, start)
+	if s.cluster != nil {
+		// Owner is reported even when it is not this node: a response with
+		// a foreign owner and Forwarded false is a visible fallback solve.
+		resp.Owner = s.cluster.ring.Owner(p.c.Hash())
+	}
+	return resp, status
 }
 
 // solvePrepared runs a prepared request through the result cache, the
@@ -451,6 +563,13 @@ func (s *Server) solvePrepared(ctx context.Context, p *prepared, start time.Time
 			s.warmHits.Add(1)
 		}
 		opts.FlowPool = s.flowPool
+		if s.cluster != nil && s.cluster.ring.IsOwner(c.Hash()) {
+			// A fresh pool solve for a hash this node owns: the unit the
+			// cluster-wide dedup invariant counts.  Cache, store and warm
+			// paths above never reach here, and fallback solves on
+			// non-owners are counted as fallbacks instead.
+			s.cluster.ownerSolves.Add(1)
+		}
 		rep, err := s.pool.do(solveCtx, func(*worker) (solver.WireReport, error) {
 			r, err := solver.SolveCompiledOptions(solveCtx, name, c, opts)
 			if r == nil {

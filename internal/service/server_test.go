@@ -15,9 +15,9 @@ import (
 )
 
 // newTestServer builds a service and an HTTP test server around it.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	t.Helper()
-	svc, err := New(cfg)
+	svc, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func reqKey(hash string, req scenario.Request) string {
 }
 
 func TestHealthzAndSolvers(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts := newTestServer(t, WithWorkers(2))
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -116,7 +116,7 @@ func TestHealthzAndSolvers(t *testing.T) {
 }
 
 func TestSolveSingleAndCache(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts := newTestServer(t, WithWorkers(2))
 	req := marshalRequest(t, scenario.NewGen(5).RequestStream(1, 1)[0])
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -155,7 +155,7 @@ func TestSolveSingleAndCache(t *testing.T) {
 }
 
 func TestSolveRejectsAdversarialRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	_, ts := newTestServer(t, WithWorkers(1))
 	valid := `{"nodes":["s","t"],"edges":[{"from":0,"to":1,"fn":{"kind":"const","t0":2}}]}`
 	cases := []struct {
 		name string
@@ -188,13 +188,16 @@ func TestSolveRejectsAdversarialRequests(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var resp SolveResponse
+			var resp errorResponse
 			status := postSolve(t, ts, tc.body, &resp)
 			if status != http.StatusBadRequest {
 				t.Fatalf("status = %d; want 400 (resp %+v)", status, resp)
 			}
-			if !strings.Contains(resp.Error, tc.want) {
-				t.Fatalf("error = %q; want it to mention %q", resp.Error, tc.want)
+			if resp.Error.Code != "invalid_request" {
+				t.Fatalf("error code = %q; want invalid_request", resp.Error.Code)
+			}
+			if !strings.Contains(resp.Error.Message, tc.want) {
+				t.Fatalf("error = %q; want it to mention %q", resp.Error.Message, tc.want)
 			}
 		})
 	}
@@ -210,7 +213,7 @@ func TestSolveRejectsAdversarialRequests(t *testing.T) {
 }
 
 func TestBatchSolvesAndDeduplicates(t *testing.T) {
-	svc, ts := newTestServer(t, Config{Workers: 2})
+	svc, ts := newTestServer(t, WithWorkers(2))
 	item := marshalRequest(t, scenario.NewGen(9).RequestStream(1, 1)[0])
 	bad := SolveRequest{Instance: json.RawMessage(`{"nodes":[]}`),
 		Options: solver.WireOptions{Budget: new(int64)}}
@@ -250,7 +253,7 @@ func TestBatchSolvesAndDeduplicates(t *testing.T) {
 }
 
 func TestSolvePastDeadlineReturnsPartialNotError(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	_, ts := newTestServer(t, WithWorkers(1))
 	inst, err := json.Marshal(scenario.NewGen(7).KWayInstance(5, 5, 3, 400))
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +279,7 @@ func TestSolvePastDeadlineReturnsPartialNotError(t *testing.T) {
 }
 
 func TestDeadlineBoundedRequestsUseCacheForCompleteResults(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	_, ts := newTestServer(t, WithWorkers(1))
 	inst, err := json.Marshal(scenario.NewGen(5).RequestStream(1, 1)[0].Inst)
 	if err != nil {
 		t.Fatal(err)
@@ -318,7 +321,7 @@ func TestDeadlineBoundedRequestsUseCacheForCompleteResults(t *testing.T) {
 // measurably hit.  Run with -race in CI.
 func TestLoadConcurrentClients(t *testing.T) {
 	const clients, perClient = 8, 200
-	svc, ts := newTestServer(t, Config{Workers: 4, CacheEntries: 4096})
+	svc, ts := newTestServer(t, WithWorkers(4), WithCacheEntries(4096))
 	stream := scenario.NewGen(42).RequestStream(clients*perClient, 40)
 
 	type outcome struct {

@@ -61,7 +61,7 @@ func storeSolveBody(t testing.TB, bump int64) string {
 // untouched, report identical.
 func TestStoreRestartRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	_, tsA := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	_, tsA := newTestServer(t, WithWorkers(1), WithStore(dir))
 
 	body := storeSolveBody(t, 0)
 	var first SolveResponse
@@ -76,7 +76,7 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 	}
 
 	// "Restart": a fresh server over the same directory.
-	svcB, tsB := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	svcB, tsB := newTestServer(t, WithWorkers(1), WithStore(dir))
 	if lr, ok := svcB.StoreLoad(); !ok || lr.Reports != 1 || lr.Instances != 1 || lr.Corrupt != 0 {
 		t.Fatalf("restarted server loaded %+v, want 1 report + 1 instance", lr)
 	}
@@ -110,7 +110,7 @@ func TestStoreRestartRoundTrip(t *testing.T) {
 // the stored solution and still certify the neighbor's own optimum.
 func TestWarmStartFromStoredNeighbor(t *testing.T) {
 	dir := t.TempDir()
-	svc, ts := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	svc, ts := newTestServer(t, WithWorkers(1), WithStore(dir))
 
 	var base SolveResponse
 	if code := postSolve(t, ts, storeSolveBody(t, 0), &base); code != 200 {
@@ -132,7 +132,7 @@ func TestWarmStartFromStoredNeighbor(t *testing.T) {
 
 	// Soundness: a cold solve of the neighbor on a store-less server must
 	// certify the identical optimum.
-	_, tsCold := newTestServer(t, Config{Workers: 1})
+	_, tsCold := newTestServer(t, WithWorkers(1))
 	var cold SolveResponse
 	if code := postSolve(t, tsCold, storeSolveBody(t, 3), &cold); code != 200 {
 		t.Fatalf("cold reference solve: status %d, error %q", code, cold.Error)
@@ -144,7 +144,7 @@ func TestWarmStartFromStoredNeighbor(t *testing.T) {
 
 	// The neighbor's solve was itself stored; an isomorphic re-encoding of
 	// it (same canonical hash) must now be a store hit on a fresh server.
-	svcC, tsC := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	svcC, tsC := newTestServer(t, WithWorkers(1), WithStore(dir))
 	var again SolveResponse
 	if code := postSolve(t, tsC, storeSolveBody(t, 3), &again); code != 200 {
 		t.Fatalf("replay solve: status %d, error %q", code, again.Error)
@@ -161,7 +161,7 @@ func TestWarmStartFromStoredNeighbor(t *testing.T) {
 // warm-hit counter over the wire.
 func TestStatsExposesStore(t *testing.T) {
 	dir := t.TempDir()
-	_, ts := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	_, ts := newTestServer(t, WithWorkers(1), WithStore(dir))
 	var first SolveResponse
 	if code := postSolve(t, ts, storeSolveBody(t, 0), &first); code != 200 {
 		t.Fatalf("solve: status %d, error %q", code, first.Error)

@@ -59,6 +59,14 @@ type SolveResponse struct {
 	// Error is the failure, if any.  A partial (deadline-interrupted)
 	// solve carries both an incomplete Report and an Error.
 	Error string `json:"error,omitempty"`
+	// Owner is the cluster node that owns this instance's hash; set only
+	// in cluster mode.  When it differs from the serving node and
+	// Forwarded is false, the serving node fell back to a local solve
+	// because the owner was unreachable.
+	Owner string `json:"owner,omitempty"`
+	// Forwarded reports that this response was produced by the owner node
+	// and relayed by the node the client spoke to.
+	Forwarded bool `json:"forwarded,omitempty"`
 }
 
 // BatchResponse answers a batch solve; Results aligns with the request's
@@ -92,9 +100,79 @@ type StatsResponse struct {
 	Jobs JobsStats `json:"jobs"`
 	// Store describes the durable store; absent without -store.
 	Store *store.Stats `json:"store,omitempty"`
+	// Cluster counts peer-forwarding activity; absent without -peers.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
-// errorResponse is the JSON error envelope for non-200 answers.
+// ClusterStats is the cluster block of /v1/stats: the static membership
+// plus this node's forwarding counters.  Counters are node-local — the
+// cluster-wide picture is the sum over members — and they partition a
+// node's clustered traffic: every non-owned request ends as exactly one
+// of ForwardHits or Fallbacks.
+type ClusterStats struct {
+	// Self is this node's address in the ring; Peers is the full sorted
+	// membership (self included).
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+	// Forwards counts solve requests dispatched to their owner node;
+	// ForwardHits counts those the owner answered.
+	Forwards    int64 `json:"forwards"`
+	ForwardHits int64 `json:"forward_hits"`
+	// ForwardCoalesced counts requests that joined an identical in-flight
+	// forward instead of dispatching their own (proxy-side single-flight).
+	ForwardCoalesced int64 `json:"forward_coalesced"`
+	// Fallbacks counts non-owned requests solved locally because the
+	// owner was unreachable or answered unusably (graceful degradation).
+	Fallbacks int64 `json:"fallbacks"`
+	// OwnerSolves counts fresh pool solves this node ran for hashes it
+	// owns — the cluster-wide dedup metric: N identical requests anywhere
+	// in a healthy cluster sum to 1.
+	OwnerSolves int64 `json:"owner_solves"`
+}
+
+// Error is the unified error envelope: the one shape every /v1/* and
+// /internal/v1/* endpoint returns for a non-2xx answer, wrapped as
+// {"error": {...}} (errorResponse).  Code is a small stable vocabulary
+// for programs (see errCodeFor); Message is for humans; Detail, when
+// present, carries context such as the offending identifier.
+type Error struct {
+	// Code is one of: invalid_request, not_found, method_not_allowed,
+	// unavailable, internal.
+	Code string `json:"code"`
+	// Message describes the failure for humans.
+	Message string `json:"message"`
+	// Detail optionally narrows the failure (an identifier, a hint).
+	Detail string `json:"detail,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error Error `json:"error"`
+}
+
+// ProbeResponse answers GET /internal/v1/probe/{hash}: what this node
+// holds for a canonical instance hash, so peers (and operators) can ask
+// about cluster data placement without triggering any solve.
+type ProbeResponse struct {
+	// Hash echoes the probed canonical hash; Owner is the member owning
+	// it under the current ring; SelfOwned reports whether that is the
+	// answering node.
+	Hash      string `json:"hash"`
+	Owner     string `json:"owner,omitempty"`
+	SelfOwned bool   `json:"self_owned"`
+	// Results counts completed reports for this hash (any solver/options)
+	// in the answering node's result cache; Stored reports whether the
+	// durable store holds the instance itself.
+	Results int  `json:"results"`
+	Stored  bool `json:"stored"`
+}
+
+// ClusterHealthResponse answers GET /internal/v1/health: liveness plus
+// the ring this node is configured with, so a peer (or the smoke test)
+// can detect membership disagreement.
+type ClusterHealthResponse struct {
+	Status   string   `json:"status"`
+	UptimeMS float64  `json:"uptime_ms"`
+	Self     string   `json:"self,omitempty"`
+	Peers    []string `json:"peers,omitempty"`
 }

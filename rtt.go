@@ -195,49 +195,16 @@ var NewVertexInstance = core.NewVertexInstance
 // 1.3 from a race DAG, with the chosen reducer class at every vertex.
 var NewRaceInstance = core.NewRaceInstance
 
-// Approximation algorithms (Section 3).
-//
-// Deprecated: dispatch through Solve with solver names "bicriteria",
-// "bicriteria-resource", "kway5", "binary4" and "binarybi" instead; the
-// registry validates capabilities and returns a structured Report.  These
-// aliases remain for callers that want the raw approx.Result.
-var (
-	// BiCriteria is the (1/alpha, 1/(1-alpha)) algorithm of Theorem 3.4.
-	//
-	// Deprecated: use Solve(ctx, "bicriteria", inst, WithBudget(b), WithAlpha(a)).
-	BiCriteria = approx.BiCriteria
-	// BiCriteriaResource is its minimum-resource twin.
-	//
-	// Deprecated: use Solve(ctx, "bicriteria-resource", inst, WithTarget(t), WithAlpha(a)).
-	BiCriteriaResource = approx.BiCriteriaResource
-	// KWay5 is the 5-approximation of Theorem 3.9.
-	//
-	// Deprecated: use Solve(ctx, "kway5", inst, WithBudget(b)).
-	KWay5 = approx.KWay5
-	// Binary4 is the 4-approximation of Theorem 3.10.
-	//
-	// Deprecated: use Solve(ctx, "binary4", inst, WithBudget(b)).
-	Binary4 = approx.Binary4
-	// BinaryBiCriteria is the (4/3, 14/5) algorithm of Theorem 3.16.
-	//
-	// Deprecated: use Solve(ctx, "binarybi", inst, WithBudget(b)).
-	BinaryBiCriteria = approx.BinaryBiCriteria
-)
+// The PR 1 deprecated aliases for the raw approximation and exact entry
+// points (BiCriteria, KWay5, Binary4, BinaryBiCriteria, ExactMinMakespan,
+// ExactMinResource, ...) are gone: dispatch through Solve with the solver
+// names "bicriteria", "bicriteria-resource", "kway5", "binary4",
+// "binarybi" and "exact" instead — the registry validates capabilities,
+// honors the context, and returns a structured Report.
 
-// Exact optimization (branch and bound; exponential worst case).
-var (
-	// ExactMinMakespan minimizes makespan under a resource budget.
-	//
-	// Deprecated: use Solve(ctx, "exact", inst, WithBudget(b)), which adds
-	// context cancellation and a structured Report.
-	ExactMinMakespan = exact.MinMakespan
-	// ExactMinResource minimizes resources under a makespan target.
-	//
-	// Deprecated: use Solve(ctx, "exact", inst, WithTarget(t)).
-	ExactMinResource = exact.MinResource
-	// ExactFeasible decides the (budget, target) decision problem.
-	ExactFeasible = exact.Feasible
-)
+// ExactFeasible decides the (budget, target) decision problem; it has no
+// registry twin because the registry solves optimization modes only.
+var ExactFeasible = exact.Feasible
 
 // Series-parallel machinery (Section 3.4).
 var (

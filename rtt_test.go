@@ -1,11 +1,17 @@
 package rtt
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scenario"
+)
 
 // TestFacadeEndToEnd exercises the public API surface end to end: build,
-// solve exactly and approximately, simulate, and round-trip the
-// series-parallel machinery.
+// solve exactly and approximately through the registry, simulate, and
+// round-trip the series-parallel machinery.
 func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	g := NewGraph()
 	s := g.AddNode("s")
 	mid := g.AddNode("m")
@@ -20,19 +26,19 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, stats, err := ExactMinMakespan(inst, 3, nil)
+	exactRep, err := Solve(ctx, "exact", inst, WithBudget(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !stats.Complete {
+	if !exactRep.Complete {
 		t.Fatal("incomplete")
 	}
-	res, err := BiCriteria(inst, 3, 0.5)
+	approxRep, err := Solve(ctx, "bicriteria", inst, WithBudget(3), WithAlpha(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Sol.Makespan < sol.Makespan {
-		t.Fatalf("approximation %d beat the optimum %d", res.Sol.Makespan, sol.Makespan)
+	if approxRep.Sol.Makespan < exactRep.Sol.Makespan {
+		t.Fatalf("approximation %d beat the optimum %d", approxRep.Sol.Makespan, exactRep.Sol.Makespan)
 	}
 
 	tree := SPSeries(SPLeaf(step), SPLeaf(NewRecursiveBinary(16)))
@@ -68,22 +74,22 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("Figure 4 makespan %d", m)
 	}
 
-	gen := NewGenerator(1)
+	gen := scenario.NewGen(1)
 	kinst := gen.KWayInstance(2, 2, 1, 20)
-	if _, err := KWay5(kinst, 3); err != nil {
+	if _, err := Solve(ctx, "kway5", kinst, WithBudget(3)); err != nil {
 		t.Fatal(err)
 	}
 	binst := gen.BinaryInstance(2, 2, 1, 20)
-	if _, err := Binary4(binst, 3); err != nil {
+	if _, err := Solve(ctx, "binary4", binst, WithBudget(3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BinaryBiCriteria(binst, 3); err != nil {
+	if _, err := Solve(ctx, "binarybi", binst, WithBudget(3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BiCriteriaResource(inst, 20, 0.5); err != nil {
+	if _, err := Solve(ctx, "bicriteria-resource", inst, WithTarget(20), WithAlpha(0.5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ExactMinResource(inst, 20, nil); err != nil {
+	if _, err := Solve(ctx, "exact", inst, WithTarget(20)); err != nil {
 		t.Fatal(err)
 	}
 	if ok, _, _, err := ExactFeasible(inst, 100, 100, nil); err != nil || !ok {
