@@ -5,6 +5,7 @@
 //	go test -bench . -benchmem -benchtime=3x -count=3 -run='^$' ./... > bench.txt
 //	benchdiff -record -in bench.txt -out BENCH_baseline.json
 //	benchdiff -baseline BENCH_baseline.json -new bench_new.json -threshold 1.30 -alloc-threshold 1.15
+//	benchdiff -scaling bench_new.json
 //
 // Recording parses `ns/op` (and, when present, `allocs/op`) lines, strips
 // the -GOMAXPROCS suffix, and keeps the MINIMUM across repetitions of each
@@ -21,6 +22,16 @@
 // are compared through (allocs+1), keeping 0 -> 0 a clean ratio of 1 and
 // 0 -> N a real regression.  Per-benchmark outliers are printed so a
 // local regression is visible in the log even when the gate passes.
+//
+// The -scaling mode checks PARALLEL speedup within a single recorded run
+// rather than drift between runs: every `name/p=N` sub-benchmark family
+// (the repo's convention for parallelism sweeps, e.g.
+// BenchmarkExactParallel/p=4) is anchored at its p=1 member and the
+// speedup ns/op(p=1) / ns/op(p=N) is reported per rung.  A speedup below
+// 1.0 at any p means adding workers made the solve SLOWER - a coordination
+// regression, and the gate fails; a p=4 speedup below -scaling-warn
+// (default 2.0x) is printed as a warning, because on a shared runner a
+// soft efficiency target is a nudge, not a verdict.
 package main
 
 import (
@@ -70,12 +81,22 @@ func main() {
 	newPath := flag.String("new", "", "fresh baseline JSON (from -record) to compare")
 	threshold := flag.Float64("threshold", 1.30, "max allowed geomean ratio new/old for ns/op")
 	allocThreshold := flag.Float64("alloc-threshold", 1.15, "max allowed geomean ratio new/old for allocs/op")
+	scalingPath := flag.String("scaling", "", "recorded baseline JSON whose name/p=N groups are gated for parallel speedup")
+	scalingWarn := flag.Float64("scaling-warn", 2.0, "warn when the p=4 speedup falls below this ratio")
 	flag.Parse()
 
 	switch {
 	case *record:
 		if err := doRecord(*in, *out); err != nil {
 			log.Fatal(err)
+		}
+	case *scalingPath != "":
+		ok, err := doScaling(*scalingPath, *scalingWarn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
 		}
 	case *baselinePath != "" && *newPath != "":
 		ok, err := doCompare(*baselinePath, *newPath, *threshold, *allocThreshold)
@@ -311,4 +332,121 @@ func doCompare(basePath, newPath string, threshold, allocThreshold float64) (boo
 		return true, nil
 	}
 	return false, nil
+}
+
+// pBench splits a parallelism-sweep sub-benchmark (`Name/p=4`) into its
+// family name and worker count.
+var pBench = regexp.MustCompile(`^(.+)/p=([0-9]+)$`)
+
+// scalingRung is one measured parallelism level of a sweep family.
+type scalingRung struct {
+	procs   int
+	nsOp    float64
+	speedup float64 // ns/op(p=1) / ns/op(procs); 1.0 at the anchor
+}
+
+// scalingGroup is one name/p=N family, anchored at its p=1 member.
+type scalingGroup struct {
+	name  string
+	rungs []scalingRung // ascending procs, the p=1 anchor first
+}
+
+// scalingGroups extracts the name/p=N families from a recorded baseline,
+// sorted by family name with rungs in ascending p order.  A family
+// without a p=1 anchor is an error - its sweep cannot be normalized - and
+// so is a rung with a non-positive time (a corrupt record).
+func scalingGroups(bench map[string]Record) ([]scalingGroup, error) {
+	families := make(map[string][]scalingRung)
+	var order []string
+	for _, name := range sortedNames(bench) {
+		m := pBench.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		procs, err := strconv.Atoi(m[2])
+		if err != nil || procs < 1 {
+			return nil, fmt.Errorf("benchmark %q: bad parallelism rung", name)
+		}
+		rec := bench[name]
+		if rec.NsOp <= 0 {
+			return nil, fmt.Errorf("benchmark %q: non-positive ns/op %v", name, rec.NsOp)
+		}
+		if _, seen := families[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		families[m[1]] = append(families[m[1]], scalingRung{procs: procs, nsOp: rec.NsOp})
+	}
+	groups := make([]scalingGroup, 0, len(families))
+	for _, name := range order {
+		rungs := families[name]
+		sort.Slice(rungs, func(i, j int) bool { return rungs[i].procs < rungs[j].procs })
+		if rungs[0].procs != 1 {
+			return nil, fmt.Errorf("family %q has no p=1 anchor; cannot compute speedups", name)
+		}
+		base := rungs[0].nsOp
+		for i := range rungs {
+			rungs[i].speedup = base / rungs[i].nsOp
+		}
+		groups = append(groups, scalingGroup{name: name, rungs: rungs})
+	}
+	return groups, nil
+}
+
+// scalingVerdict applies the gates: a speedup below 1.0 at any rung past
+// the anchor means adding workers made the solve slower - a coordination
+// regression, and a failure; a p=4 rung below warnAt is an efficiency
+// warning.  Both slices come back in deterministic group/rung order.
+func scalingVerdict(groups []scalingGroup, warnAt float64) (failures, warnings []string) {
+	for _, g := range groups {
+		for _, r := range g.rungs[1:] {
+			if r.speedup < 1.0 {
+				failures = append(failures,
+					fmt.Sprintf("%s/p=%d: speedup %.2fx < 1.00x (parallel slower than sequential)",
+						g.name, r.procs, r.speedup))
+			} else if r.procs == 4 && r.speedup < warnAt {
+				warnings = append(warnings,
+					fmt.Sprintf("%s/p=4: speedup %.2fx below the %.2fx efficiency target",
+						g.name, r.speedup, warnAt))
+			}
+		}
+	}
+	return failures, warnings
+}
+
+// doScaling loads one recorded baseline and gates its parallelism sweeps.
+// The report is diffed across CI runs, so it must be byte-stable for
+// identical inputs: groups and rungs are emitted in sorted order.
+//
+//rt:deterministic
+func doScaling(path string, warnAt float64) (bool, error) {
+	b, err := loadBaseline(path)
+	if err != nil {
+		return false, err
+	}
+	groups, err := scalingGroups(b.Benchmarks)
+	if err != nil {
+		return false, err
+	}
+	if len(groups) == 0 {
+		return false, fmt.Errorf("%s: no name/p=N benchmark families to gate", path)
+	}
+	fmt.Printf("%-50s %6s %14s %10s\n", "FAMILY", "p", "ns/op", "SPEEDUP")
+	for _, g := range groups {
+		for _, r := range g.rungs {
+			fmt.Printf("%-50s %6d %14.1f %9.2fx\n", g.name, r.procs, r.nsOp, r.speedup)
+		}
+	}
+	fmt.Println()
+	failures, warnings := scalingVerdict(groups, warnAt)
+	for _, w := range warnings {
+		fmt.Printf("WARN  %s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL  %s\n", f)
+	}
+	if len(failures) > 0 {
+		return false, nil
+	}
+	fmt.Printf("PASS: %d parallelism sweeps, no rung below 1.00x\n", len(groups))
+	return true, nil
 }

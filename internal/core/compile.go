@@ -89,6 +89,9 @@ type Compiled struct {
 	envOnce sync.Once
 	env     *Envelopes
 
+	levelsOnce sync.Once
+	levels     *Levels
+
 	expandOnce sync.Once
 	expanded   *Expanded
 	expandErr  error
@@ -122,35 +125,20 @@ func Compile(inst *Instance) *Compiled {
 		MinDur:          make([]int64, m),
 		AssignmentSpace: 1,
 	}
+	// CSR prefix sums first: both the sequential and the gang fill need the
+	// complete offsets before any adjacency is copied.
 	for v := 0; v < n; v++ {
 		c.OutStart[v+1] = c.OutStart[v] + int32(g.OutDegree(v))
 		c.InStart[v+1] = c.InStart[v] + int32(g.InDegree(v))
-		for i, e := range g.Out(v) {
-			c.OutArcs[int(c.OutStart[v])+i] = int32(e)
-		}
-		for i, e := range g.In(v) {
-			c.InArcs[int(c.InStart[v])+i] = int32(e)
-		}
 	}
-	for e := 0; e < m; e++ {
-		ed := g.Edge(e)
-		c.ArcFrom[e] = int32(ed.From)
-		c.ArcTo[e] = int32(ed.To)
-		ts := inst.Fns[e].Tuples()
-		c.Tuples[e] = ts
-		c.MinDur[e] = ts[len(ts)-1].T
-		c.MaxUsefulBudget += ts[len(ts)-1].R
-		if c.AssignmentSpace < SpaceSaturation {
-			c.AssignmentSpace *= int64(len(ts))
-			if c.AssignmentSpace > SpaceSaturation {
-				c.AssignmentSpace = SpaceSaturation
-			}
-		}
-		if len(ts) == 1 {
-			c.ExpandedArcs++
-		} else {
-			c.ExpandedArcs += 2 * int64(len(ts))
-		}
+	if workers := compileGang(m); workers > 1 {
+		c.fillParallel(workers)
+	} else {
+		c.csrRange(0, n)
+		budget, expanded, space := c.arcRange(0, m)
+		c.MaxUsefulBudget = budget
+		c.ExpandedArcs = expanded
+		c.AssignmentSpace = space
 	}
 	// Longest path under the unlimited-resource durations, via the order
 	// just computed (the compiled twin of Instance.MakespanLowerBound).
@@ -193,9 +181,16 @@ func (c *Compiled) Class() string {
 
 // Envelopes returns the per-arc lower convex envelopes of the duration
 // breakpoints, built once and cached.  The relaxation engine evaluates
-// them on every Frank-Wolfe iteration.
+// them on every Frank-Wolfe iteration.  Large instances build hulls
+// across the construction gang (byte-identical to the sequential build).
 func (c *Compiled) Envelopes() *Envelopes {
-	c.envOnce.Do(func() { c.env = buildEnvelopes(c.Tuples) })
+	c.envOnce.Do(func() {
+		if workers := compileGang(len(c.Tuples)); workers > 1 {
+			c.env = buildEnvelopesParallel(c.Tuples, workers)
+		} else {
+			c.env = buildEnvelopes(c.Tuples)
+		}
+	})
 	return c.env
 }
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/duration"
+)
+
+// compileParallelThreshold is the arc count at which Compile (and the lazy
+// envelope build) switch from single-pass sequential construction to a
+// worker gang over disjoint node and arc ranges.  Construction is linear
+// either way; the gang only amortizes its spawn cost on instances in the
+// 100k-arc class.  A tunable, not a contract: the Compiled produced on
+// either side of it is byte-identical (pinned by
+// TestCompileParallelMatchesSequential).
+var compileParallelThreshold = 65536
+
+// compileForceWorkers, when positive, overrides the gang size regardless
+// of GOMAXPROCS.  Test-only: it lets single-CPU runners exercise the
+// parallel construction path deterministically.
+var compileForceWorkers = 0
+
+// compileGang sizes the construction gang for an m-arc instance.
+func compileGang(m int) int {
+	if m < compileParallelThreshold {
+		return 1
+	}
+	if compileForceWorkers > 0 {
+		return compileForceWorkers
+	}
+	p := runtime.GOMAXPROCS(0)
+	if p > 8 {
+		p = 8 // construction is memory-bound; wider gangs stop paying
+	}
+	return p
+}
+
+// csrRange copies the adjacency of nodes [lo, hi) into the CSR arrays.
+// The prefix sums in OutStart/InStart are complete before any call, so
+// every write lands in a range no other worker touches.
+func (c *Compiled) csrRange(lo, hi int) {
+	g := c.Inst.G
+	for v := lo; v < hi; v++ {
+		for i, e := range g.Out(v) {
+			c.OutArcs[int(c.OutStart[v])+i] = int32(e)
+		}
+		for i, e := range g.In(v) {
+			c.InArcs[int(c.InStart[v])+i] = int32(e)
+		}
+	}
+}
+
+// arcRange fills the per-arc derivations for arcs [lo, hi) - endpoints,
+// materialized breakpoint tuples, unlimited-resource durations - and
+// returns the chunk's additive aggregates plus its saturating
+// breakpoint-count product.  Writes are disjoint per chunk; aggregates are
+// combined in chunk order by the caller so the totals match the
+// sequential fold exactly.
+func (c *Compiled) arcRange(lo, hi int) (budget, expanded, space int64) {
+	g := c.Inst.G
+	space = 1
+	for e := lo; e < hi; e++ {
+		ed := g.Edge(e)
+		c.ArcFrom[e] = int32(ed.From)
+		c.ArcTo[e] = int32(ed.To)
+		ts := c.Inst.Fns[e].Tuples()
+		c.Tuples[e] = ts
+		c.MinDur[e] = ts[len(ts)-1].T
+		budget += ts[len(ts)-1].R
+		if space < SpaceSaturation {
+			space *= int64(len(ts))
+			if space > SpaceSaturation {
+				space = SpaceSaturation
+			}
+		}
+		if len(ts) == 1 {
+			expanded++
+		} else {
+			expanded += 2 * int64(len(ts))
+		}
+	}
+	return budget, expanded, space
+}
+
+// combineSpace folds one chunk's saturating breakpoint-count product into
+// the running assignment-space estimate.  Equal to the sequential
+// arc-by-arc fold: while the true total product stays below the cap every
+// prefix (and hence every chunk product) does too, so both folds compute
+// the exact product; once the true total crosses the cap both clamp to
+// exactly SpaceSaturation.  The division guard keeps the combine itself
+// from overflowing (two sub-cap factors can exceed int64 when multiplied).
+func combineSpace(acc, chunk int64) int64 {
+	if acc >= SpaceSaturation || chunk >= SpaceSaturation || acc > SpaceSaturation/chunk {
+		return SpaceSaturation
+	}
+	return acc * chunk
+}
+
+// fillParallel runs the CSR copy and the per-arc pass across a gang of
+// workers on disjoint node and arc ranges, then reduces the per-chunk
+// aggregates in chunk order.  Every array write is to a chunk-owned range
+// and the reduction order matches arc order, so the resulting Compiled is
+// byte-identical to the sequential build.
+func (c *Compiled) fillParallel(workers int) {
+	n := len(c.OutStart) - 1
+	m := len(c.ArcFrom)
+	type partial struct{ budget, expanded, space int64 }
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			c.csrRange(n*w/workers, n*(w+1)/workers)
+			b, x, sp := c.arcRange(m*w/workers, m*(w+1)/workers)
+			parts[w] = partial{b, x, sp}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		c.MaxUsefulBudget += p.budget
+		c.ExpandedArcs += p.expanded
+		c.AssignmentSpace = combineSpace(c.AssignmentSpace, p.space)
+	}
+}
+
+// buildEnvelopesParallel is buildEnvelopes across a worker gang: each
+// worker builds the hulls of a contiguous arc range into its own local
+// CSR, and the ranges are stitched back in arc order.  Hulls are per-arc
+// independent and the stitch preserves arc order, so the result is
+// byte-identical to the sequential build (same R/T/Slope contents, same
+// SegStart offsets).
+func buildEnvelopesParallel(tuples [][]duration.Tuple, workers int) *Envelopes {
+	m := len(tuples)
+	parts := make([]*Envelopes, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := m*w/workers, m*(w+1)/workers
+			sub := &Envelopes{SegStart: make([]int32, hi-lo+1)}
+			for e := lo; e < hi; e++ {
+				sub.appendHull(tuples[e])
+				sub.SegStart[e-lo+1] = int32(len(sub.R))
+			}
+			parts[w] = sub
+		}(w)
+	}
+	wg.Wait()
+	points, slopes := 0, 0
+	for _, sub := range parts {
+		points += len(sub.R)
+		slopes += len(sub.Slope)
+	}
+	ev := &Envelopes{
+		SegStart: make([]int32, m+1),
+		R:        make([]int64, 0, points),
+		T:        make([]int64, 0, points),
+		Slope:    make([]float64, 0, slopes),
+	}
+	e := 0
+	for _, sub := range parts {
+		base := int32(len(ev.R))
+		for i := 1; i < len(sub.SegStart); i++ {
+			ev.SegStart[e+1] = base + sub.SegStart[i]
+			e++
+		}
+		ev.R = append(ev.R, sub.R...)
+		ev.T = append(ev.T, sub.T...)
+		ev.Slope = append(ev.Slope, sub.Slope...)
+	}
+	return ev
+}

@@ -1,0 +1,26 @@
+package core
+
+// Test hooks: scenario (the corpus builder) imports core, so corpus-driven
+// tests must live in package core_test and reach the construction tunables
+// through these.
+
+// SetCompileGangForTest overrides the parallel-construction tunables and
+// returns a restore func.  threshold <= 0 leaves the threshold unchanged;
+// force <= 0 leaves the gang sizing unchanged.
+func SetCompileGangForTest(threshold, force int) (restore func()) {
+	oldThresh, oldForce := compileParallelThreshold, compileForceWorkers
+	if threshold > 0 {
+		compileParallelThreshold = threshold
+	}
+	if force > 0 {
+		compileForceWorkers = force
+	}
+	return func() {
+		compileParallelThreshold = oldThresh
+		compileForceWorkers = oldForce
+	}
+}
+
+// CombineSpaceForTest exposes the chunk reduction of the saturating
+// assignment-space product.
+func CombineSpaceForTest(acc, chunk int64) int64 { return combineSpace(acc, chunk) }

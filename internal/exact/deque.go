@@ -1,0 +1,126 @@
+package exact
+
+import "sync/atomic"
+
+// Chase-Lev work-stealing deque of frontier tasks.
+//
+// Every search worker owns one deque: the owner pushes and pops subtree
+// tasks at the BOTTOM (LIFO, so it dives back into the subtree it just
+// shed, keeping its caches warm), while idle workers steal from the TOP
+// (FIFO, so thieves take the OLDEST — shallowest, and therefore biggest —
+// subtrees, amortizing the per-steal copy over the most work).  The
+// implementation is the classic dynamic circular array of Chase & Lev:
+// bottom is written only by the owner, top only advances (via CAS), and
+// the one contended case — owner popping the last element while a thief
+// steals it — is arbitrated by a CAS on top that exactly one side wins.
+// Go's sync/atomic operations are sequentially consistent, which covers
+// the fences the original algorithm needs.
+//
+// The ring stores *task pointers in atomic slots so that growth (the
+// owner swapping in a doubled ring) never races thieves reading the old
+// one: a grown ring holds the same tasks at the same logical indices, and
+// a thief acting on a stale ring still reads the value its CAS on top
+// then claims exclusively.  Rings are never reused, and top never
+// decreases, so there is no ABA.
+
+// dequeRing is one immutable-size circular buffer; len(slot) is a power
+// of two and mask = len(slot)-1.
+type dequeRing struct {
+	mask int64
+	slot []atomic.Pointer[task]
+}
+
+// deque is one worker's work-stealing deque.  The zero value is an empty
+// deque; the first push allocates the ring.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[dequeRing]
+}
+
+// dequeMinSize is the first ring's capacity; sized so that typical
+// searches (branching factors in the tens) never grow.
+const dequeMinSize = 64
+
+// grow swaps in a ring of at least twice the capacity, copying the live
+// logical indices [t, b).  Owner-only, called from push; out of line so
+// the push hot path itself stays allocation-free once the deque has
+// reached its working size.
+func (d *deque) grow(r *dequeRing, b, t int64) *dequeRing {
+	size := int64(dequeMinSize)
+	if r != nil {
+		size = int64(len(r.slot)) * 2
+	}
+	nr := &dequeRing{mask: size - 1, slot: make([]atomic.Pointer[task], size)}
+	for i := t; i < b; i++ {
+		nr.slot[i&nr.mask].Store(r.slot[i&r.mask].Load())
+	}
+	d.ring.Store(nr)
+	return nr
+}
+
+// push appends a task at the bottom.  Owner-only.
+//
+//rt:hotpath — every shed subtree goes through here.
+func (d *deque) push(tk *task) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if r == nil || b-t >= int64(len(r.slot)) {
+		r = d.grow(r, b, t)
+	}
+	r.slot[b&r.mask].Store(tk)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the bottom task, or nil when the deque is
+// empty.  Owner-only; the last-element case races thieves and exactly
+// one side wins the CAS on top.
+//
+//rt:hotpath — the owner's per-task dequeue.
+func (d *deque) pop() *task {
+	r := d.ring.Load()
+	if r == nil {
+		return nil
+	}
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; undo the decrement.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	tk := r.slot[b&r.mask].Load()
+	if b > t {
+		return tk
+	}
+	// Last element: claim it against concurrent thieves.
+	if !d.top.CompareAndSwap(t, t+1) {
+		tk = nil // a thief got there first
+	}
+	d.bottom.Store(b + 1)
+	return tk
+}
+
+// steal removes and returns the top task, or nil when the deque looks
+// empty or the claim was lost to a concurrent pop/steal (callers just
+// move on to the next victim).  Safe to call from any worker.
+//
+//rt:hotpath — idle workers spin through here.
+func (d *deque) steal() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	if r == nil {
+		return nil
+	}
+	tk := r.slot[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return tk
+}

@@ -1,0 +1,142 @@
+package exact
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// tagged builds a distinct task whose level[0] carries an identifying tag.
+func tagged(tag int) *task {
+	return &task{level: []int{tag}, frozen: []bool{false}}
+}
+
+// TestDequeOwnerLIFO: the owner pops its own pushes newest-first.
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d deque
+	for i := 0; i < 10; i++ {
+		d.push(tagged(i))
+	}
+	for i := 9; i >= 0; i-- {
+		tk := d.pop()
+		if tk == nil || tk.level[0] != i {
+			t.Fatalf("pop %d: got %v", i, tk)
+		}
+	}
+	if d.pop() != nil {
+		t.Fatal("pop of an empty deque must return nil")
+	}
+}
+
+// TestDequeStealFIFO: thieves take the oldest task first.
+func TestDequeStealFIFO(t *testing.T) {
+	var d deque
+	for i := 0; i < 10; i++ {
+		d.push(tagged(i))
+	}
+	for i := 0; i < 10; i++ {
+		tk := d.steal()
+		if tk == nil || tk.level[0] != i {
+			t.Fatalf("steal %d: got %v", i, tk)
+		}
+	}
+	if d.steal() != nil {
+		t.Fatal("steal from an empty deque must return nil")
+	}
+}
+
+// TestDequeGrowth pushes far past the initial ring size and checks that
+// every task survives the ring doublings, split between pops and steals.
+func TestDequeGrowth(t *testing.T) {
+	var d deque
+	const total = 10 * dequeMinSize
+	for i := 0; i < total; i++ {
+		d.push(tagged(i))
+	}
+	seen := make([]bool, total)
+	for i := 0; i < total; i++ {
+		var tk *task
+		if i%2 == 0 {
+			tk = d.pop()
+		} else {
+			tk = d.steal()
+		}
+		if tk == nil {
+			t.Fatalf("drain %d: deque ran dry early", i)
+		}
+		if seen[tk.level[0]] {
+			t.Fatalf("task %d delivered twice", tk.level[0])
+		}
+		seen[tk.level[0]] = true
+	}
+	if d.pop() != nil || d.steal() != nil {
+		t.Fatal("deque must be empty after draining")
+	}
+}
+
+// TestDequeConcurrentStress is the exactly-once contract under contention
+// (run with -race to also check the memory orderings): one owner pushes
+// tasks and pops between pushes while several thieves steal continuously;
+// every task must be claimed by exactly one side, none lost, none doubled.
+func TestDequeConcurrentStress(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 4
+	)
+	var d deque
+	claimed := make([]atomic.Int32, total)
+	var delivered atomic.Int64
+	claim := func(tk *task) {
+		if claimed[tk.level[0]].Add(1) != 1 {
+			t.Errorf("task %d claimed more than once", tk.level[0])
+		}
+		delivered.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	var producing atomic.Bool
+	producing.Store(true)
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for producing.Load() || delivered.Load() < total {
+				if tk := d.steal(); tk != nil {
+					claim(tk)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	// Owner: bursts of pushes with interleaved pops, like a worker
+	// shedding siblings and diving back into its own subtree.
+	for i := 0; i < total; {
+		for j := 0; j < 7 && i < total; j++ {
+			d.push(tagged(i))
+			i++
+		}
+		for j := 0; j < 3; j++ {
+			if tk := d.pop(); tk != nil {
+				claim(tk)
+			}
+		}
+	}
+	producing.Store(false)
+	// Owner drains whatever the thieves left behind.
+	for delivered.Load() < total {
+		if tk := d.pop(); tk != nil {
+			claim(tk)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if got := delivered.Load(); got != total {
+		t.Fatalf("delivered %d of %d tasks", got, total)
+	}
+	if d.pop() != nil || d.steal() != nil {
+		t.Fatal("deque must be empty at the end")
+	}
+}

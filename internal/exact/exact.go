@@ -22,19 +22,36 @@
 //
 // # Parallel search
 //
-// The branch-and-bound runs on a worker pool (Options.Parallelism; the
-// default is GOMAXPROCS).  The driver first expands the tree breadth-first
-// from the root until it holds a few independent subtree tasks per worker,
-// then hands the frontier to the pool.  Workers share one incumbent: the
-// best objective value lives in an atomic integer that pruning reads
-// lock-free on every node, while improvements take a mutex to install the
-// value and its witness flow together.  Node accounting, the node budget,
-// early-exit ("done") and cancellation flags are all atomics, so the
-// search is safe under the race detector and the returned *optimum value*
-// is deterministic across worker counts (the witness flow may differ when
-// several flows are optimal).  Each worker owns a flow.MinFlowSolver, so
-// the per-node min-flow reuses one transformed network instead of
-// rebuilding it from scratch.
+// The branch-and-bound runs on a work-stealing worker pool
+// (Options.Parallelism; the default is GOMAXPROCS).  Every worker owns a
+// Chase-Lev deque of frontier tasks: the root's children are dealt
+// round-robin to seed the deques, after which parallelism spreads by
+// DEMAND-DRIVEN SHEDDING — a worker counts as hungry while it hunts for
+// work, and any worker expanding a node with several branching candidates
+// sheds the trailing siblings into its own deque the moment somebody is
+// hungry.  Owners pop their own deque LIFO (diving back into the subtree
+// they just shed, caches warm); hungry workers steal FIFO from the top,
+// taking the oldest — shallowest, biggest — subtrees.  A search with no
+// hungry workers sheds nothing and runs each subtree by pure recursion,
+// so the steady state does the same work as the sequential search.
+// Termination is a single atomic count of live tasks (queued plus
+// executing): shedding increments it before the push, finishing a task's
+// subtree decrements it, and a hungry worker exits when it reads zero.
+//
+// Workers share one incumbent: the best objective value lives in an
+// atomic integer that pruning reads lock-free on every node, while
+// improvements take a mutex to install the value and its witness flow
+// together.  Node accounting, the node budget, early-exit ("done") and
+// cancellation flags are all atomics, so the search is safe under the
+// race detector and the returned *optimum value* is deterministic across
+// worker counts (the witness flow may differ when several flows are
+// optimal; stealing reorders only WHEN subtrees run, never what they
+// contain).  Each worker owns a flow.MinFlowSolver, so the per-node
+// min-flow reuses one transformed network instead of rebuilding it; the
+// workers themselves, their task buffers, and (absent Options.FlowPool)
+// the flow networks are recycled through package-level pools, so a solve
+// allocates no per-worker state in steady state no matter the
+// parallelism.
 package exact
 
 import (
@@ -74,7 +91,8 @@ type Options struct {
 	// FlowPool optionally supplies the min-flow networks the search
 	// workers use, so topology-matched networks are reused across solves
 	// instead of rebuilt (see flow.SolverPool).  Reuse never changes any
-	// result; nil means each worker builds its own.
+	// result; nil draws from a small package-level pool, so repeated
+	// solves reuse networks even without explicit pooling.
 	FlowPool *flow.SolverPool
 	// Progress, when non-nil, receives the search's anytime trajectory:
 	// one event when the global lower bound (the floor) is established and
@@ -151,13 +169,29 @@ type shared struct {
 	bestFlow    []int64 // guarded by mu
 	interrupted error   // guarded by mu
 
-	// pool optionally supplies worker min-flow networks (Options.FlowPool);
-	// nil-safe, see flow.SolverPool.
+	// pool supplies worker min-flow networks: Options.FlowPool when set,
+	// otherwise the package-level defaultFlowPool.
 	pool *flow.SolverPool
 
 	// progress mirrors Options.Progress; nil when nobody is listening.
 	progress func(incumbent, bound float64, nodes int64)
+
+	// Work-stealing scheduler state (parallel runs only).  dqs[i] is
+	// worker i's Chase-Lev deque; pending counts live tasks (queued plus
+	// executing) and reaching zero terminates hungry workers; hungry
+	// counts workers currently hunting for work — the signal that makes
+	// busy workers shed subtrees.
+	dqs     []deque
+	pending atomic.Int64
+	hungry  atomic.Int32
 }
+
+// defaultFlowPool backs searches whose Options carry no FlowPool: the
+// branch-and-bound workers park their Dinic networks here between solves,
+// so back-to-back solves of topology-matched instances (benchmarks, the
+// approximation-ratio harness) stop rebuilding networks per worker per
+// solve.  Pooling never changes results (see flow.SolverPool).
+var defaultFlowPool = flow.NewSolverPool(0)
 
 func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
 	if ctx == nil {
@@ -185,6 +219,9 @@ func newShared(ctx context.Context, c *core.Compiled, opts *Options) *shared {
 	if opts != nil {
 		sh.pool = opts.FlowPool
 		sh.progress = opts.Progress
+	}
+	if sh.pool == nil {
+		sh.pool = defaultFlowPool
 	}
 	return sh
 }
@@ -295,12 +332,19 @@ func (sh *shared) stats() Stats {
 
 // worker is one search thread's private state: the current assignment, the
 // hitting-set freeze marks, a reusable min-flow network, and scratch
-// buffers so the hot path performs no allocation.
+// buffers so the hot path performs no allocation.  Workers are recycled
+// through workerPool across solves, so the buffers only ever allocate the
+// first time a size is seen.
 type worker struct {
 	sh     *shared
 	level  []int
 	frozen []bool
 	mf     *flow.MinFlowSolver
+
+	// dq is this worker's own work-stealing deque (nil in the sequential
+	// search); self is its index into sh.dqs, where steals start.
+	dq   *deque
+	self int
 
 	lb    []int64 // per-arc lower bounds of the current assignment
 	durs  []int64 // per-arc assigned durations
@@ -315,20 +359,80 @@ type worker struct {
 	candStack []int
 }
 
+// workerPool recycles worker scratch state across solves (the min-flow
+// network is pooled separately through shared.pool): with it, a solve's
+// per-worker setup is a handful of slice header writes instead of seven
+// allocations per worker, which is what kept the parallel benchmark's
+// allocs/op from scaling with worker count.
+var workerPool sync.Pool
+
+// intSlice returns s resized to n and zeroed, reusing its backing array
+// when it is big enough.
+func intSlice(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func int64Slice(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func boolSlice(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
 func newWorker(sh *shared) *worker {
 	m := sh.inst.G.NumEdges()
-	return &worker{
-		sh:     sh,
-		level:  make([]int, m),
-		frozen: make([]bool, m),
-		mf:     sh.pool.Get(sh.inst.G, sh.inst.Source, sh.inst.Sink),
-		lb:     make([]int64, m),
-		durs:   make([]int64, m),
-		rdurs:  make([]int64, m),
-		et:     make([]int64, sh.inst.G.NumNodes()),
-		path:   make([]int, 0, m),
-		cand:   make([]int, 0, m),
+	n := sh.inst.G.NumNodes()
+	w, _ := workerPool.Get().(*worker)
+	if w == nil {
+		w = &worker{}
 	}
+	w.sh = sh
+	w.mf = sh.pool.Get(sh.inst.G, sh.inst.Source, sh.inst.Sink)
+	w.dq = nil
+	w.self = 0
+	w.level = intSlice(w.level, m)
+	w.frozen = boolSlice(w.frozen, m)
+	w.lb = int64Slice(w.lb, m)
+	w.durs = int64Slice(w.durs, m)
+	w.rdurs = int64Slice(w.rdurs, m)
+	w.et = int64Slice(w.et, n)
+	w.path = w.path[:0]
+	w.cand = w.cand[:0]
+	w.candStack = w.candStack[:0]
+	return w
+}
+
+// release parks the worker's network in the flow pool and the scratch
+// state in workerPool for the next solve.  The worker must not be used
+// afterwards.
+func (w *worker) release() {
+	w.sh.pool.Put(w.mf)
+	w.mf = nil
+	w.sh = nil
+	w.dq = nil
+	workerPool.Put(w)
 }
 
 // makespan fills w.et with longest-path event times under the durations d
@@ -499,13 +603,25 @@ func (w *worker) visit() (candidates []int, ok bool) {
 	return w.candidates(w.durs), true
 }
 
-// expand runs the hitting-set loop over the candidates sequentially,
-// recursing into each child.
+// expand runs the hitting-set loop over the candidates, recursing into
+// each child.  In a parallel search it additionally SHEDS work on demand:
+// whenever some worker is hungry and more than one sibling remains, the
+// trailing siblings are materialized as frontier tasks on this worker's
+// own deque (whence thieves steal them from the top) and only the current
+// child is recursed into directly.  Shed tasks carry their own
+// level/frozen snapshots with the hitting-set freeze marks applied, so
+// the enumeration still visits every minimal repair exactly once no
+// matter which worker runs which sibling.
 func (w *worker) expand(candidates []int) {
 	base := len(w.candStack)
 	w.candStack = append(w.candStack, candidates...)
 	n := len(candidates)
-	for i := 0; i < n; i++ {
+	own := n // siblings this worker still runs itself
+	for i := 0; i < own; i++ {
+		if w.dq != nil && i+1 < own && w.sh.hungry.Load() > 0 {
+			w.shed(base, i, own)
+			own = i + 1
+		}
 		// Index through w.candStack rather than a saved sub-slice: deeper
 		// recursion may grow (and so move) the backing array.
 		e := w.candStack[base+i]
@@ -518,11 +634,34 @@ func (w *worker) expand(candidates []int) {
 		w.frozen[e] = true
 	}
 	// Candidates are never frozen at entry, so unfreezing all of them
-	// (including any the early break skipped) restores the entry state.
+	// (including any the early break skipped, and the shed ones — which
+	// were frozen only inside their task snapshots) restores the entry
+	// state.
 	for i := 0; i < n; i++ {
 		w.frozen[w.candStack[base+i]] = false
 	}
 	w.candStack = w.candStack[:base]
+}
+
+// shed turns the siblings after position i (up to n, exclusive) into
+// frontier tasks on this worker's deque.  Sibling j's subtree raises
+// candidate j with candidates 0..j-1 frozen; w.frozen already carries the
+// marks for 0..i-1, so each snapshot adds the marks for i..j-1 on top.
+// pending is incremented before each push so a hungry worker can never
+// observe a moment where live work exists but the count reads zero.
+func (w *worker) shed(base, i, n int) {
+	sh := w.sh
+	for j := i + 1; j < n; j++ {
+		tk := getTask(len(w.level))
+		copy(tk.level, w.level)
+		copy(tk.frozen, w.frozen)
+		for k := i; k < j; k++ {
+			tk.frozen[w.candStack[base+k]] = true
+		}
+		tk.level[w.candStack[base+j]]++
+		sh.pending.Add(1)
+		w.dq.push(tk)
+	}
 }
 
 func (w *worker) recurse() {
@@ -532,10 +671,75 @@ func (w *worker) recurse() {
 }
 
 // task is a frontier node: an assignment plus freeze marks whose subtree
-// is still unexplored.
+// is still unexplored.  Tasks are recycled through taskPool — the buffers
+// are copied into the executing worker's state and returned to the pool
+// before the subtree runs.
 type task struct {
 	level  []int
 	frozen []bool
+}
+
+var taskPool sync.Pool
+
+func getTask(m int) *task {
+	tk, _ := taskPool.Get().(*task)
+	if tk == nil {
+		tk = &task{}
+	}
+	if cap(tk.level) < m {
+		tk.level = make([]int, m)
+		tk.frozen = make([]bool, m)
+	}
+	tk.level = tk.level[:m]
+	tk.frozen = tk.frozen[:m]
+	return tk
+}
+
+// loop is one parallel worker's scheduling loop: drain the own deque
+// LIFO, then go hungry and steal FIFO from the others until either work
+// turns up or no live task remains anywhere.
+func (w *worker) loop() {
+	sh := w.sh
+	for {
+		if sh.done.Load() || sh.stopped.Load() {
+			return
+		}
+		tk := w.dq.pop()
+		if tk == nil {
+			tk = w.stealWork()
+			if tk == nil {
+				return
+			}
+		}
+		copy(w.level, tk.level)
+		copy(w.frozen, tk.frozen)
+		taskPool.Put(tk)
+		w.recurse()
+		sh.pending.Add(-1)
+	}
+}
+
+// stealWork hunts the other deques for a task, counting this worker as
+// hungry while it looks (the signal that makes busy workers shed).  It
+// returns nil when the search is over: every live task finished, or a
+// stop flag fired.  The spin is cheap — a failed round is a few atomic
+// loads per victim — and bounded, because executing workers either shed
+// (feeding the thief) or finish (draining pending toward zero).
+func (w *worker) stealWork() *task {
+	sh := w.sh
+	sh.hungry.Add(1)
+	defer sh.hungry.Add(-1)
+	for {
+		if sh.done.Load() || sh.stopped.Load() || sh.pending.Load() == 0 {
+			return nil
+		}
+		for i := 1; i < len(sh.dqs); i++ {
+			if tk := sh.dqs[(w.self+i)%len(sh.dqs)].steal(); tk != nil {
+				return tk
+			}
+		}
+		runtime.Gosched()
+	}
 }
 
 // run drives the search with the given worker-pool size.
@@ -548,72 +752,47 @@ func (sh *shared) run(parallelism int) {
 		return // a seeded incumbent already proved optimal
 	}
 	root := newWorker(sh)
-	defer sh.pool.Put(root.mf)
 	if par <= 1 {
 		root.recurse()
+		root.release()
 		return
 	}
 
-	// Seed the pool: expand breadth-first until the frontier holds a few
-	// independent subtree tasks per worker (or the whole tree ran dry).
-	// The seeding itself is part of the search - it visits nodes and can
-	// record incumbents - so nothing is wasted if the tree is tiny.
+	// Visit the root alone (it establishes the resource floor) and deal
+	// its children round-robin across the workers' deques.  That is the
+	// whole static split: from here on, demand-driven shedding and
+	// stealing balance the tree however lopsided it turns out to be.
 	cand, ok := root.visit()
 	if !ok || len(cand) == 0 {
+		root.release()
 		return
 	}
-	seedTarget := 4 * par
-	frontier := make([]task, 0, seedTarget+len(cand))
-	pushChildren := func(w *worker, cand []int) {
-		for i, e := range cand {
-			lv := append([]int(nil), w.level...)
-			fr := append([]bool(nil), w.frozen...)
-			lv[e]++
-			for _, prev := range cand[:i] {
-				fr[prev] = true
-			}
-			frontier = append(frontier, task{lv, fr})
+	sh.dqs = make([]deque, par)
+	for i, e := range cand {
+		tk := getTask(len(root.level))
+		copy(tk.level, root.level)
+		copy(tk.frozen, root.frozen)
+		for _, prev := range cand[:i] {
+			tk.frozen[prev] = true
 		}
+		tk.level[e]++
+		sh.pending.Add(1)
+		sh.dqs[i%par].push(tk)
 	}
-	pushChildren(root, cand)
-	for len(frontier) > 0 && len(frontier) < seedTarget {
-		if sh.done.Load() || sh.stopped.Load() {
-			return
-		}
-		tk := frontier[0]
-		frontier = frontier[1:]
-		copy(root.level, tk.level)
-		copy(root.frozen, tk.frozen)
-		if c, ok := root.visit(); ok {
-			pushChildren(root, c)
-		}
-	}
+	root.release()
 
-	if len(frontier) == 0 {
-		return // the seeding pass already explored the whole tree
-	}
-	tasks := make(chan task)
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			w := newWorker(sh)
-			defer sh.pool.Put(w.mf)
-			for tk := range tasks {
-				copy(w.level, tk.level)
-				copy(w.frozen, tk.frozen)
-				w.recurse()
-			}
-		}()
+			w.dq = &sh.dqs[i]
+			w.self = i
+			w.loop()
+			w.release()
+		}(i)
 	}
-	for _, tk := range frontier {
-		if sh.done.Load() || sh.stopped.Load() {
-			break
-		}
-		tasks <- tk
-	}
-	close(tasks)
 	wg.Wait()
 }
 

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// The hot-serve tier: a zero-allocation fast path for the service's
+// dominant traffic shape, the byte-identical request arriving over and
+// over (load balancers health-checking a canonical solve, dashboards
+// polling a fixed instance, replayed batch drivers).
+//
+// The HTTP stack cannot answer without allocating — net/http builds a
+// Request, a body reader and header maps per call — so the hot tier is an
+// embedder API that bypasses it: ServeHot maps the raw request bytes to a
+// fully pre-encoded response held in an arena of reusable byte slices,
+// and appends it to a caller-provided buffer.  A hot hit therefore costs
+// one SHA-256 over the body, one map probe under a read-lock, and one
+// memcpy into the caller's buffer: zero allocations steady-state
+// (BenchmarkServeHotInstance pins this, the hotalloc analyzer gates it
+// statically).
+//
+// Only responses that are pure functions of the request bytes are ever
+// cached: complete, error-free, deadline-free solves on a standalone
+// (non-cluster) node.  Everything else — deadline-bounded requests whose
+// truncation depends on wall time, batches, errors, cluster-forwarded
+// requests whose answer depends on peer health — takes the ordinary
+// solveOne path on every call; correct, just not allocation-free.  The
+// cached body reports wall_ms 0 at the response level (a hot hit's wall
+// time is the lookup, effectively zero; the solve's own compute time
+// stays in report.wall_ms), and cached:true, which is what every hit is.
+
+// hotEntry is one pre-encoded response: the exact bytes an HTTP handler
+// would have written, newline-terminated like json.Encoder output.
+type hotEntry struct {
+	status int
+	body   []byte
+}
+
+// hotCache maps SHA-256(raw request body) to pre-encoded responses.  The
+// map only grows, up to cap: a bounded identity-keyed arena, not an LRU —
+// eviction bookkeeping on the read path would cost the allocations the
+// tier exists to avoid.  A full cache stops admitting new bodies; misses
+// still solve correctly through the ordinary path.
+type hotCache struct {
+	mu      sync.RWMutex
+	cap     int
+	entries map[[sha256.Size]byte]hotEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// defaultHotEntries bounds the hot tier's arena.  Entries hold whole
+// encoded responses, so the worst-case residency is cap x the largest
+// response (itself bounded by the instance size cap).
+const defaultHotEntries = 512
+
+// ServeHot answers one solve request from the hot-response arena,
+// bypassing the HTTP stack: raw is the request body POST /v1/solve would
+// have received, the encoded JSON response is appended to dst (pass a
+// reused buffer; its grown form is returned), and the HTTP status is
+// returned alongside.  Misses fall back to the ordinary decode-and-solve
+// path and, when the response is a pure function of the bytes, seed the
+// arena so the next identical request is a hit.
+//
+//rt:hotpath — the hit path allocates nothing: hash, map probe, append into the caller's buffer.
+func (s *Server) ServeHot(raw, dst []byte) ([]byte, int) {
+	s.requests.Add(1)
+	key := sha256.Sum256(raw)
+	s.hot.mu.RLock()
+	e, ok := s.hot.entries[key]
+	s.hot.mu.RUnlock()
+	if ok {
+		s.hot.hits.Add(1)
+		dst = append(dst, e.body...)
+		return dst, e.status
+	}
+	return s.serveHotMiss(key, raw, dst)
+}
+
+// serveHotMiss is ServeHot's slow path: decode, solve through solveOne
+// (result cache, store, pool — everything the HTTP path uses), encode,
+// and admit the response to the arena when it is cacheable.
+func (s *Server) serveHotMiss(key [sha256.Size]byte, raw, dst []byte) ([]byte, int) {
+	s.hot.misses.Add(1)
+	var env solveEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return s.appendHotError(dst, http.StatusBadRequest, "", "invalid request body: "+err.Error())
+	}
+	if len(env.Batch) > 0 {
+		return s.appendHotError(dst, http.StatusBadRequest, "",
+			"batch requests are not supported on the hot path; POST /v1/solve instead")
+	}
+	resp, status := s.solveOne(context.Background(), env.SolveRequest, false)
+	resp.WallMS = 0 // the hot tier's wall time is the lookup: report it as zero everywhere
+
+	// Admit only responses that are pure functions of the request bytes;
+	// see the package comment above.  The cached copy claims cached:true —
+	// every future delivery of it is a cache hit by definition.
+	if status == http.StatusOK && resp.Error == "" && resp.Report != nil && resp.Report.Complete &&
+		env.Options.DeadlineMS == 0 && s.cluster == nil {
+		hot := resp
+		hot.Cached = true
+		if body, err := json.Marshal(hot); err == nil {
+			body = append(body, '\n')
+			s.hot.mu.Lock()
+			if len(s.hot.entries) < s.hot.cap {
+				s.hot.entries[key] = hotEntry{status: status, body: body}
+			}
+			s.hot.mu.Unlock()
+		}
+	}
+
+	if status >= http.StatusBadRequest {
+		return s.appendHotError(dst, status, resp.Hash, resp.Error)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return s.appendHotError(dst, http.StatusInternalServerError, "", err.Error())
+	}
+	dst = append(dst, body...)
+	dst = append(dst, '\n')
+	return dst, status
+}
+
+// appendHotError appends the unified error envelope (the same shape
+// writeErrorDetail sends) to dst and returns it with the status.
+func (s *Server) appendHotError(dst []byte, status int, detail, message string) ([]byte, int) {
+	body, err := json.Marshal(errorResponse{Error: Error{
+		Code:    errCodeFor(status),
+		Message: message,
+		Detail:  detail,
+	}})
+	if err != nil {
+		return dst, status // unreachable: the envelope marshals unconditionally
+	}
+	dst = append(dst, body...)
+	dst = append(dst, '\n')
+	return dst, status
+}

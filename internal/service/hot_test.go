@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestServeHotMatchesHTTP is the hot tier's parity contract: for the same
+// request bytes, ServeHot and POST /v1/solve must produce the same status
+// and the same response modulo wall_ms (the hot tier reports 0 — its wall
+// time is a map probe).
+func TestServeHotMatchesHTTP(t *testing.T) {
+	svc, ts := newTestServer(t, WithWorkers(1))
+	body, _ := isoBodies()
+
+	// Prime both tiers, then compare steady-state answers.
+	var prime SolveResponse
+	if status := postSolve(t, ts, body, &prime); status != http.StatusOK || prime.Error != "" {
+		t.Fatalf("prime: status %d, %+v", status, prime)
+	}
+	out, status := svc.ServeHot([]byte(body), nil)
+	if status != http.StatusOK {
+		t.Fatalf("ServeHot prime: status %d: %s", status, out)
+	}
+
+	var viaHTTP SolveResponse
+	if status := postSolve(t, ts, body, &viaHTTP); status != http.StatusOK {
+		t.Fatalf("http repeat: status %d", status)
+	}
+	out, status = svc.ServeHot([]byte(body), out[:0])
+	if status != http.StatusOK {
+		t.Fatalf("ServeHot repeat: status %d", status)
+	}
+	var viaHot SolveResponse
+	if err := json.Unmarshal(out, &viaHot); err != nil {
+		t.Fatalf("hot response is not valid JSON: %v\n%s", err, out)
+	}
+	viaHTTP.WallMS, viaHot.WallMS = 0, 0
+	if !reflect.DeepEqual(viaHTTP, viaHot) {
+		t.Fatalf("hot tier diverges from HTTP (modulo wall_ms):\nhttp: %+v\nhot:  %+v", viaHTTP, viaHot)
+	}
+	if !viaHot.Cached || !viaHot.CompiledHit {
+		t.Fatalf("steady-state hot response should be fully cached: %+v", viaHot)
+	}
+}
+
+// TestServeHotHitIsStable: repeated hits return byte-identical bodies and
+// count as hits, and the arena holds exactly one entry per distinct body.
+func TestServeHotHitIsStable(t *testing.T) {
+	svc, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	bodyA, bodyB := isoBodies()
+
+	a1, status := svc.ServeHot([]byte(bodyA), nil)
+	if status != http.StatusOK {
+		t.Fatalf("first: %d %s", status, a1)
+	}
+	a2, _ := svc.ServeHot([]byte(bodyA), nil)
+	a3, _ := svc.ServeHot([]byte(bodyA), nil)
+	if string(a2) != string(a3) {
+		t.Fatalf("hot hits differ:\n%s\n%s", a2, a3)
+	}
+	if _, st := svc.ServeHot([]byte(bodyB), nil); st != http.StatusOK {
+		t.Fatalf("isomorphic body: %d", st)
+	}
+	if hits := svc.hot.hits.Load(); hits != 2 {
+		t.Fatalf("hot hits = %d; want 2", hits)
+	}
+	svc.hot.mu.RLock()
+	entries := len(svc.hot.entries)
+	svc.hot.mu.RUnlock()
+	if entries != 2 {
+		t.Fatalf("arena holds %d entries; want one per distinct body", entries)
+	}
+}
+
+// TestServeHotDoesNotCacheImpure: responses that are not pure functions
+// of the request bytes — deadline-bounded solves, errors, batches — must
+// never enter the arena.
+func TestServeHotDoesNotCacheImpure(t *testing.T) {
+	svc, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	entriesNow := func() int {
+		svc.hot.mu.RLock()
+		defer svc.hot.mu.RUnlock()
+		return len(svc.hot.entries)
+	}
+
+	// Deadline-bounded: correct answer, not cached.
+	inst := `{"nodes":["s","t"],"edges":[{"from":0,"to":1,"fn":{"kind":"step","tuples":[{"r":0,"t":9},{"r":1,"t":5}]}}]}`
+	withDeadline := fmt.Sprintf(`{"options":{"budget":1,"deadline_ms":60000},"instance":%s}`, inst)
+	out, status := svc.ServeHot([]byte(withDeadline), nil)
+	if status != http.StatusOK {
+		t.Fatalf("deadline solve: %d %s", status, out)
+	}
+	if n := entriesNow(); n != 0 {
+		t.Fatalf("deadline-bounded response was cached (%d entries)", n)
+	}
+
+	// Malformed body: a 400 with the unified envelope, not cached.
+	out, status = svc.ServeHot([]byte(`{"instance": nope`), nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", status)
+	}
+	var envlp errorResponse
+	if err := json.Unmarshal(out, &envlp); err != nil || envlp.Error.Code != "invalid_request" {
+		t.Fatalf("malformed body: want the unified envelope, got %s (err %v)", out, err)
+	}
+	if n := entriesNow(); n != 0 {
+		t.Fatalf("error response was cached (%d entries)", n)
+	}
+
+	// Batch: rejected on the hot path with the envelope.
+	batch := fmt.Sprintf(`{"batch":[%s]}`, `{"options":{"budget":1},"instance":{"nodes":["s","t"],"edges":[{"from":0,"to":1,"fn":{"kind":"const","t0":3}}]}}`)
+	out, status = svc.ServeHot([]byte(batch), nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("batch: status %d %s", status, out)
+	}
+	if n := entriesNow(); n != 0 {
+		t.Fatalf("batch rejection was cached (%d entries)", n)
+	}
+}
+
+// TestServeHotArenaBounded: a full arena stops admitting, keeps serving.
+func TestServeHotArenaBounded(t *testing.T) {
+	svc, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	svc.hot.cap = 2
+	mk := func(t0 int64) []byte {
+		return []byte(fmt.Sprintf(`{"options":{"budget":1},"instance":{"nodes":["s","t"],"edges":[{"from":0,"to":1,"fn":{"kind":"const","t0":%d}}]}}`, t0))
+	}
+	for t0 := int64(1); t0 <= 4; t0++ {
+		if _, status := svc.ServeHot(mk(t0), nil); status != http.StatusOK {
+			t.Fatalf("t0=%d: status %d", t0, status)
+		}
+	}
+	svc.hot.mu.RLock()
+	entries := len(svc.hot.entries)
+	svc.hot.mu.RUnlock()
+	if entries != 2 {
+		t.Fatalf("arena grew to %d entries past its cap of 2", entries)
+	}
+	// Uncached bodies still answer correctly through the ordinary path.
+	var resp SolveResponse
+	out, status := svc.ServeHot(mk(4), nil)
+	if status != http.StatusOK {
+		t.Fatalf("over-cap body: status %d", status)
+	}
+	if err := json.Unmarshal(out, &resp); err != nil || resp.Report == nil || resp.Report.Makespan != 4 {
+		t.Fatalf("over-cap body answered wrong: %s (err %v)", out, err)
+	}
+}

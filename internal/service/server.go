@@ -42,6 +42,7 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -116,6 +117,7 @@ type Server struct {
 	flowPool *flow.SolverPool
 	jobs     *jobRegistry
 	cluster  *clusterState // nil without Config.Peers/Self
+	hot      hotCache
 	mux      *http.ServeMux
 	start    time.Time
 	maxBody  int64
@@ -200,6 +202,8 @@ func NewFromConfig(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		maxBody:  maxBody,
 	}
+	s.hot.cap = defaultHotEntries
+	s.hot.entries = make(map[[sha256.Size]byte]hotEntry)
 	s.jobs = newJobRegistry(s, len(s.pool.workers), retain)
 	for _, ep := range s.routes() {
 		s.mux.HandleFunc(ep.Pattern, ep.handler)

@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// parallelWireBytes renders a report for cross-parallelism byte
+// comparison.  Wall time is always zeroed (measured, not computed).  When
+// dropScheduleDependent is set — the exact solver — two more fields are
+// normalized out, for reasons the exact package documents:
+//
+//   - nodes: a parallel branch-and-bound's pruning depends on WHEN the
+//     incumbent improves, so the work done is schedule-dependent even
+//     though the result is not; the count is effort accounting, like
+//     wall_ms, not part of the answer.
+//   - flow: when several flows are optimal, which witness the strictly-
+//     improving incumbent ends up holding depends on visit order ("the
+//     witness flow may differ when several flows are optimal" — the
+//     package contract, and the reason Parallelism is part of the result
+//     cache key).  The witness is checked separately for validity and
+//     optimality instead; the VALUE fields it certifies are compared.
+func parallelWireBytes(t *testing.T, rep *Report, dropScheduleDependent bool) []byte {
+	t.Helper()
+	w := rep.Wire()
+	w.WallMS = 0
+	if dropScheduleDependent {
+		w.Nodes = 0
+		w.Flow = nil
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestParallelismInvariantWireReports is the corpus-wide determinism
+// property behind the "parallelism changes when, never what" contract,
+// checked at Parallelism 1, 2 and 8 for the two solvers that honor the
+// option:
+//
+//   - frankwolfe reports must be byte-identical IN FULL, iteration count
+//     included: the level-parallel sweep partitions each level's
+//     max-reductions, which are order-independent, so the iterates — and
+//     hence every downstream field — are identical at every worker count.
+//   - exact reports must be byte-identical in every answer field
+//     (optimum, resources, bounds, guarantee, exactness, completeness),
+//     and every run's witness flow must be a valid budget-feasible
+//     optimal solution; the witness bytes and node count themselves are
+//     schedule-dependent (see parallelWireBytes) and are normalized out.
+//     Exact runs that hit the node cap are skipped, not compared: a
+//     truncated search's best-so-far legitimately depends on which
+//     subtrees the budget covered.
+func TestParallelismInvariantWireReports(t *testing.T) {
+	levels := []int{1, 2, 8}
+	for _, spec := range scenario.DefaultCorpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := core.Compile(inst)
+			opts := NewOptions()
+			if spec.Budget != nil {
+				opts.Budget = *spec.Budget
+			} else {
+				opts.Target = *spec.Target
+			}
+			opts.MaxNodes = 20000
+
+			// frankwolfe: full byte equality across worker counts.
+			var fwWant []byte
+			for _, par := range levels {
+				o := opts
+				o.Parallelism = par
+				rep, err := SolveCompiledOptions(context.Background(), "frankwolfe", warm, o)
+				if err != nil {
+					t.Fatalf("frankwolfe p=%d: %v", par, err)
+				}
+				got := parallelWireBytes(t, rep, false)
+				if fwWant == nil {
+					fwWant = got
+				} else if string(got) != string(fwWant) {
+					t.Fatalf("frankwolfe report changed at parallelism %d:\np=1: %s\np=%d: %s",
+						par, fwWant, par, got)
+				}
+			}
+
+			// exact: answer-field byte equality plus per-run witness
+			// optimality, complete runs only.
+			var exWant []byte
+			for _, par := range levels {
+				o := opts
+				o.Parallelism = par
+				rep, err := SolveCompiledOptions(context.Background(), "exact", warm, o)
+				if err != nil {
+					t.Fatalf("exact p=%d: %v", par, err)
+				}
+				if !rep.Complete {
+					t.Logf("exact p=%d truncated at the node cap; skipping the exact comparison", par)
+					break
+				}
+				budget := int64(-1)
+				if spec.Budget != nil {
+					budget = *spec.Budget
+				}
+				if err := inst.ValidateFlow(rep.Sol.Flow, budget); err != nil {
+					t.Fatalf("exact p=%d: witness flow invalid: %v", par, err)
+				}
+				if spec.Target != nil && rep.Sol.Makespan > *spec.Target {
+					t.Fatalf("exact p=%d: witness makespan %d misses target %d",
+						par, rep.Sol.Makespan, *spec.Target)
+				}
+				got := parallelWireBytes(t, rep, true)
+				if exWant == nil {
+					exWant = got
+				} else if string(got) != string(exWant) {
+					t.Fatalf("exact report changed at parallelism %d:\np=1: %s\np=%d: %s",
+						par, exWant, par, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismRejectedOrInvariant closes the quantifier over the
+// registry: every solver either honors parallelism with invariant results
+// (exact, frankwolfe — covered above), is the documented exception (auto,
+// whose opt-in racing mode makes the ROUTING schedule-dependent: the
+// winner's name and guarantee reach the report, which is exactly why
+// Parallelism sits in the result cache key), or must refuse
+// Parallelism > 1 so "identical across parallelism levels" holds by
+// explicit rejection rather than silently ignoring the option.
+func TestParallelismRejectedOrInvariant(t *testing.T) {
+	covered := map[string]bool{"exact": true, "frankwolfe": true, "auto": true}
+	opts := NewOptions()
+	opts.Budget = 2
+	opts.Parallelism = 4
+	for _, s := range List() {
+		name := s.Name()
+		if covered[name] || strings.HasPrefix(name, "test-") {
+			continue
+		}
+		if s.Capabilities().Parallel {
+			t.Errorf("%s declares Parallel but has no cross-parallelism invariance coverage; extend TestParallelismInvariantWireReports", name)
+			continue
+		}
+		if err := ValidateOptions(s, opts); err == nil {
+			t.Errorf("%s is single-threaded yet accepted Parallelism 4", name)
+		}
+	}
+}
